@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the e-graph substrate: add/union/rebuild
+//! throughput and e-matching, the operations that dominate the exploration
+//! phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tensat_ir::{GraphBuilder, TensorAnalysis, TensorEGraph};
+use tensat_rules::single_rules;
+
+fn build_graph(n: usize) -> tensat_egraph::RecExpr<tensat_ir::TensorLang> {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", &[32, 64]);
+    let mut outs = vec![];
+    for i in 0..n {
+        let w = g.weight(&format!("w{i}"), &[64, 64]);
+        let m = g.matmul(x, w);
+        outs.push(g.relu(m));
+    }
+    g.finish(&outs)
+}
+
+fn bench_add_and_rebuild(c: &mut Criterion) {
+    let graph = build_graph(32);
+    c.bench_function("egraph_add_expr_rebuild_32_branches", |b| {
+        b.iter(|| {
+            let mut eg = TensorEGraph::new(TensorAnalysis);
+            let root = eg.add_expr(&graph);
+            eg.rebuild();
+            std::hint::black_box(root)
+        })
+    });
+}
+
+fn bench_ematching(c: &mut Criterion) {
+    let graph = build_graph(32);
+    let mut eg = TensorEGraph::new(TensorAnalysis);
+    eg.add_expr(&graph);
+    eg.rebuild();
+    let rules = single_rules();
+    c.bench_function("ematch_all_rules_32_branches", |b| {
+        b.iter(|| {
+            let total: usize = rules.iter().map(|r| r.search(&eg).len()).sum();
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_one_exploration_iteration(c: &mut Criterion) {
+    let graph = build_graph(8);
+    let rules = single_rules();
+    c.bench_function("explore_one_iteration_8_branches", |b| {
+        b.iter(|| {
+            let mut eg = TensorEGraph::new(TensorAnalysis);
+            let root = eg.add_expr(&graph);
+            eg.rebuild();
+            let stats = tensat_core::explore(
+                &mut eg,
+                root,
+                &rules,
+                &[],
+                &tensat_core::ExplorationConfig {
+                    max_iter: 1,
+                    ..Default::default()
+                },
+            );
+            std::hint::black_box(stats.enodes)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_add_and_rebuild,
+    bench_ematching,
+    bench_one_exploration_iteration
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks comparing greedy and ILP extraction on
+//! explored e-graphs with controlled amounts of sharing (the design choice
+//! ablated in paper Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tensat_core::{explore, extract_greedy, extract_ilp, ExplorationConfig, IlpConfig};
+use tensat_ir::{CostModel, GraphBuilder, TensorAnalysis, TensorEGraph};
+use tensat_rules::{multi_rules, single_rules};
+
+fn explored(parallel: usize) -> (TensorEGraph, tensat_egraph::Id) {
+    let mut g = GraphBuilder::new();
+    let x = g.input("x", &[32, 64]);
+    let mut outs = vec![];
+    for i in 0..parallel {
+        let w = g.weight(&format!("w{i}"), &[64, 64]);
+        outs.push(g.matmul(x, w));
+    }
+    let graph = g.finish(&outs);
+    let mut eg = TensorEGraph::new(TensorAnalysis);
+    let root = eg.add_expr(&graph);
+    eg.rebuild();
+    explore(
+        &mut eg,
+        root,
+        &single_rules(),
+        &multi_rules(),
+        &ExplorationConfig {
+            k_multi: 1,
+            max_iter: 3,
+            node_limit: 5_000,
+            ..Default::default()
+        },
+    );
+    (eg, root)
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let model = CostModel::default();
+    let mut group = c.benchmark_group("extraction");
+    for &parallel in &[2usize, 3] {
+        let (eg, root) = explored(parallel);
+        group.bench_with_input(BenchmarkId::new("greedy", parallel), &parallel, |b, _| {
+            b.iter(|| extract_greedy(&eg, root, &model).unwrap().cost)
+        });
+        group.bench_with_input(BenchmarkId::new("ilp", parallel), &parallel, |b, _| {
+            b.iter(|| extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap().0.cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

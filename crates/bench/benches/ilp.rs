@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the branch-and-bound ILP solver on
+//! synthetic extraction-shaped problems of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tensat_ilp::{Cmp, Problem, Solver};
+
+/// Builds a chain-of-choices problem: `depth` levels, each with `width`
+/// alternatives, each alternative requiring one node at the next level.
+fn chain_problem(depth: usize, width: usize) -> Problem {
+    let mut p = Problem::new();
+    let mut levels: Vec<Vec<tensat_ilp::VarId>> = vec![];
+    for level in 0..depth {
+        let vars: Vec<_> = (0..width)
+            .map(|i| p.add_binary(1.0 + (i as f64) + (level as f64) * 0.1))
+            .collect();
+        levels.push(vars);
+    }
+    // Root: exactly one of level 0.
+    p.add_constraint(levels[0].iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 1.0);
+    // Each selected node requires one selection at the next level.
+    for level in 0..depth - 1 {
+        for &v in &levels[level] {
+            let mut terms = vec![(v, 1.0)];
+            terms.extend(levels[level + 1].iter().map(|&u| (u, -1.0)));
+            p.add_constraint(terms, Cmp::Le, 0.0);
+        }
+    }
+    p
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_chain");
+    for &depth in &[5usize, 10, 20] {
+        let p = chain_problem(depth, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| Solver::default().solve(&p).objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

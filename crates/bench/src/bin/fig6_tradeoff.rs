@@ -1,0 +1,40 @@
+//! Regenerates **Figure 6**: the speedup-vs-optimizer-time trade-off curve
+//! on Inception-v3 (60 s timeout), sweeping the search budget of both
+//! optimizers.
+
+use std::time::Duration;
+use tensat_bench::{harness_scale, tensat_config, write_csv};
+use tensat_core::Optimizer;
+use tensat_taso::{BacktrackingConfig, BacktrackingSearch};
+
+fn main() {
+    let graph = tensat_models::build_benchmark("Inception-v3", harness_scale());
+    println!("Figure 6: speedup vs optimizer time on Inception-v3");
+    let mut rows = vec![];
+
+    // TASO: sweep the iteration budget.
+    for &iters in &[1usize, 5, 10, 25, 50, 100] {
+        let result = BacktrackingSearch::with_default_rules(BacktrackingConfig {
+            iterations: iters,
+            time_limit: Duration::from_secs(60),
+            ..Default::default()
+        })
+        .run(&graph);
+        println!("TASO   n={iters:<4} time {:>8.3}s speedup {:>6.2}%", result.total_time.as_secs_f64(), result.speedup_percent());
+        rows.push(format!("taso,{},{:.3},{:.2}", iters, result.total_time.as_secs_f64(), result.speedup_percent()));
+    }
+    // TENSAT: sweep k_multi and the iteration limit.
+    for &(k, iters) in &[(0usize, 3usize), (1, 5), (1, 15), (2, 15)] {
+        let mut config = tensat_config(k);
+        config.max_iter = iters;
+        config.exploration_time_limit = Duration::from_secs(60);
+        let result = Optimizer::new(config).optimize(&graph).expect("optimize");
+        println!(
+            "TENSAT k={k} i={iters:<3} time {:>8.3}s speedup {:>6.2}%",
+            result.optimizer_time().as_secs_f64(),
+            result.speedup_percent()
+        );
+        rows.push(format!("tensat_k{k}_i{iters},{},{:.3},{:.2}", iters, result.optimizer_time().as_secs_f64(), result.speedup_percent()));
+    }
+    write_csv("fig6_tradeoff.csv", "optimizer,budget,time_s,speedup_pct", &rows);
+}

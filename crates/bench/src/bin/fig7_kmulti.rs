@@ -1,0 +1,34 @@
+//! Regenerates **Figure 7**: effect of the number of multi-pattern
+//! iterations k_multi on speedup, optimizer time, and final e-graph size.
+
+use tensat_bench::{harness_scale, tensat_config, write_csv};
+use tensat_core::Optimizer;
+
+fn main() {
+    let ks: Vec<usize> = vec![0, 1, 2, 3];
+    println!("Figure 7: varying k_multi (speedup %, optimizer time s, #e-nodes)");
+    let mut rows = vec![];
+    for &name in tensat_models::BENCHMARKS {
+        for &k in &ks {
+            let graph = tensat_models::build_benchmark(name, harness_scale());
+            let result = Optimizer::new(tensat_config(k)).optimize(&graph).expect("optimize");
+            println!(
+                "{:<14} k={} speedup {:>6.2}%  time {:>8.3}s  enodes {:>8}",
+                name,
+                k,
+                result.speedup_percent(),
+                result.optimizer_time().as_secs_f64(),
+                result.stats.exploration.enodes
+            );
+            rows.push(format!(
+                "{},{},{:.2},{:.3},{}",
+                name,
+                k,
+                result.speedup_percent(),
+                result.optimizer_time().as_secs_f64(),
+                result.stats.exploration.enodes
+            ));
+        }
+    }
+    write_csv("fig7_kmulti.csv", "model,k_multi,speedup_pct,time_s,enodes", &rows);
+}

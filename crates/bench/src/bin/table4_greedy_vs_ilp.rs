@@ -1,0 +1,28 @@
+//! Regenerates **Table 4**: runtime of the graphs produced by greedy vs ILP
+//! extraction on BERT, NasRNN and NasNet-A (k_multi = 1).
+
+use tensat_bench::{harness_scale, tensat_config, write_csv};
+use tensat_core::{ExtractionMode, Optimizer};
+
+fn main() {
+    println!("Table 4: estimated graph runtime (µs): original, greedy, ILP");
+    println!("{:<14} {:>12} {:>12} {:>12}", "model", "original", "greedy", "ILP");
+    let mut rows = vec![];
+    for &name in &["BERT", "NasRNN", "NasNet-A"] {
+        let graph = tensat_models::build_benchmark(name, harness_scale());
+        let greedy = Optimizer::new({
+            let mut c = tensat_config(1);
+            c.extraction = ExtractionMode::Greedy;
+            c
+        })
+        .optimize(&graph)
+        .expect("greedy");
+        let ilp = Optimizer::new(tensat_config(1)).optimize(&graph).expect("ilp");
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>12.2}",
+            name, ilp.original_cost, greedy.optimized_cost, ilp.optimized_cost
+        );
+        rows.push(format!("{},{:.3},{:.3},{:.3}", name, ilp.original_cost, greedy.optimized_cost, ilp.optimized_cost));
+    }
+    write_csv("table4_greedy_vs_ilp.csv", "model,original_us,greedy_us,ilp_us", &rows);
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table 5**: ILP extraction time with vs without the cycle
+//! constraints (real and integer topological-order variables), for
+//! k_multi = 1 and 2, on BERT, NasRNN and NasNet-A.
+
+use std::time::Duration;
+use tensat_bench::{harness_scale, write_csv};
+use tensat_core::{explore, extract_ilp, CycleFilter, ExplorationConfig, IlpConfig};
+use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph};
+use tensat_rules::{multi_rules, single_rules};
+
+fn main() {
+    let model = CostModel::default();
+    let ilp_time_limit = Duration::from_secs(60);
+    println!("Table 5: ILP solve time (s), with cycle constraints (real / int) vs without");
+    println!("{:<12} {:>3} {:>12} {:>12} {:>12}", "model", "k", "real", "int", "without");
+    let mut rows = vec![];
+    for &name in &["BERT", "NasRNN", "NasNet-A"] {
+        for k in [1usize, 2] {
+            let graph = tensat_models::build_benchmark(name, harness_scale());
+            let mut eg = TensorEGraph::new(TensorAnalysis);
+            let root = eg.add_expr(&graph);
+            eg.rebuild();
+            explore(&mut eg, root, &single_rules(), &multi_rules(), &ExplorationConfig {
+                k_multi: k,
+                max_iter: 8,
+                node_limit: 8_000,
+                time_limit: Duration::from_secs(20),
+                cycle_filter: CycleFilter::Efficient,
+            });
+            let time_of = |cycle: bool, int: bool| {
+                let cfg = IlpConfig {
+                    cycle_constraints: cycle,
+                    integer_topo_vars: int,
+                    time_limit: ilp_time_limit,
+                    warm_start_with_greedy: true,
+                };
+                match extract_ilp(&eg, root, &model, &cfg) {
+                    Ok((_, stats)) => stats.solve_time.as_secs_f64(),
+                    Err(_) => f64::NAN,
+                }
+            };
+            let real = time_of(true, false);
+            let int = time_of(true, true);
+            let without = time_of(false, false);
+            println!("{name:<12} {k:>3} {real:>12.3} {int:>12.3} {without:>12.3}");
+            rows.push(format!("{name},{k},{real:.4},{int:.4},{without:.4}"));
+        }
+    }
+    write_csv("table5_cycle_constraints.csv", "model,k_multi,with_real_s,with_int_s,without_s", &rows);
+}

@@ -1,0 +1,378 @@
+//! Cycle handling for the exploration phase (paper §5.2).
+//!
+//! Valid rewrites can introduce cycles into the e-graph (paper Fig. 3).
+//! The extracted graph must be a DAG, so TENSAT either encodes acyclicity
+//! in the ILP (slow) or filters cycles during exploration. This module
+//! implements the machinery for both cycle-filtering algorithms:
+//!
+//! * the *descendants map* used by the pre-filtering step of the efficient
+//!   algorithm (Algorithm 2, line 3),
+//! * the single-candidate cycle check used by both vanilla (recomputed per
+//!   candidate) and efficient (pre-computed once per iteration) filtering,
+//! * the DFS cycle collection and resolution used by the post-processing
+//!   step (Algorithm 2, lines 10–18).
+
+use std::collections::HashMap;
+use tensat_egraph::{ENodeOrVar, Id, Language, Pattern, Subst};
+use tensat_ir::{TensorEGraph, TensorLang};
+
+/// A dense bit set over e-class indices.
+#[derive(Debug, Clone)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates a bit set able to hold `n` bits, all clear.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i`. Returns true if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// True if bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Unions `other` into `self`; returns true if anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            if new != *a {
+                *a = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The per-iteration descendants map: for every e-class, the set of
+/// e-classes reachable through (unfiltered) e-node child edges.
+#[derive(Debug, Clone)]
+pub struct DescendantsMap {
+    /// Maps canonical class ids to dense indices.
+    pub index: HashMap<Id, usize>,
+    /// `desc[i]` is the descendant set of the class with dense index `i`.
+    pub desc: Vec<BitSet>,
+}
+
+impl DescendantsMap {
+    /// Computes the descendants map with a fixpoint over the class graph
+    /// (one pass per longest chain; cycles converge because bit sets only
+    /// grow).
+    pub fn compute(egraph: &TensorEGraph) -> Self {
+        let classes: Vec<Id> = egraph.classes().map(|c| egraph.find(c.id)).collect();
+        let n = classes.len();
+        let index: HashMap<Id, usize> = classes.iter().copied().zip(0..n).collect();
+        // Direct child edges.
+        let mut children: Vec<Vec<usize>> = vec![vec![]; n];
+        for class in egraph.classes() {
+            let ci = index[&egraph.find(class.id)];
+            for node in class.iter() {
+                if egraph.is_filtered(node) {
+                    continue;
+                }
+                for &child in node.children() {
+                    let child = egraph.find(child);
+                    children[ci].push(index[&child]);
+                }
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+            c.dedup();
+        }
+        let mut desc: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for (i, ch) in children.iter().enumerate() {
+            for &c in ch {
+                desc[i].insert(c);
+            }
+        }
+        // Fixpoint: desc[i] |= desc[child] for every child.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for &c in &children[i] {
+                    if c == i {
+                        continue;
+                    }
+                    // Split borrows: clone the child's set (sets are dense
+                    // words, and the loop converges quickly on DAG-like
+                    // e-graphs).
+                    let child_set = desc[c].clone();
+                    if desc[i].union_with(&child_set) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DescendantsMap { index, desc }
+    }
+
+    /// True if `descendant` is reachable from `ancestor` (strictly below).
+    pub fn is_descendant(&self, egraph: &TensorEGraph, ancestor: Id, descendant: Id) -> bool {
+        let a = egraph.find(ancestor);
+        let d = egraph.find(descendant);
+        match (self.index.get(&a), self.index.get(&d)) {
+            (Some(&ai), Some(&di)) => self.desc[ai].contains(di),
+            // Classes created after the map was built are treated as having
+            // no recorded descendants (the pre-filter is sound but not
+            // complete, as the paper notes).
+            _ => false,
+        }
+    }
+}
+
+/// Checks whether applying `target` under `subst` at `matched_class` would
+/// introduce a cycle, using a descendants map.
+///
+/// The instantiated target's root joins `matched_class`; its leaves are the
+/// e-classes bound to the pattern variables. A cycle appears exactly when
+/// some bound class can already reach `matched_class` (or is it).
+pub fn would_create_cycle(
+    egraph: &TensorEGraph,
+    desc: &DescendantsMap,
+    matched_class: Id,
+    target: &Pattern<TensorLang>,
+    subst: &Subst,
+) -> bool {
+    let matched = egraph.find(matched_class);
+    for (_, node) in target.ast.iter() {
+        if let ENodeOrVar::Var(v) = node {
+            if let Some(bound) = subst.get(*v) {
+                let bound = egraph.find(bound);
+                // A variable bound to a parameter class (Num/Str) can never
+                // form a cycle through tensors, but the generic check is
+                // still correct for it.
+                if bound == matched || desc.is_descendant(egraph, bound, matched) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// One cycle in the e-graph: the sequence of `(class, e-node)` edges whose
+/// child pointers close the loop.
+pub type Cycle = Vec<(Id, TensorLang)>;
+
+/// Collects a set of cycles reachable from `root` with a DFS over
+/// unfiltered e-nodes (Algorithm 2, `DFSGetCycles`). Each invocation finds
+/// the cycles visible to one DFS pass; callers loop until none remain.
+pub fn find_cycles(egraph: &TensorEGraph, root: Id) -> Vec<Cycle> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unvisited,
+        OnStack,
+        Done,
+    }
+    let mut marks: HashMap<Id, Mark> = HashMap::new();
+    let mut cycles: Vec<Cycle> = vec![];
+    // Path of (class, enode chosen at that class) currently on the DFS stack.
+    let mut path: Vec<(Id, TensorLang)> = vec![];
+
+    fn dfs(
+        egraph: &TensorEGraph,
+        class: Id,
+        marks: &mut HashMap<Id, Mark>,
+        path: &mut Vec<(Id, TensorLang)>,
+        cycles: &mut Vec<Cycle>,
+    ) {
+        let class = egraph.find(class);
+        match marks.get(&class).copied().unwrap_or(Mark::Unvisited) {
+            Mark::Done => return,
+            Mark::OnStack => {
+                // Found a cycle: everything on the path from the previous
+                // occurrence of `class` onwards.
+                if let Some(pos) = path.iter().position(|(c, _)| *c == class) {
+                    cycles.push(path[pos..].to_vec());
+                }
+                return;
+            }
+            Mark::Unvisited => {}
+        }
+        marks.insert(class, Mark::OnStack);
+        let nodes: Vec<TensorLang> = egraph
+            .eclass(class)
+            .iter()
+            .filter(|n| !egraph.is_filtered(n))
+            .cloned()
+            .collect();
+        for node in nodes {
+            path.push((class, node.clone()));
+            for &child in node.children() {
+                dfs(egraph, child, marks, path, cycles);
+            }
+            path.pop();
+        }
+        marks.insert(class, Mark::Done);
+    }
+
+    dfs(egraph, root, &mut marks, &mut path, &mut cycles);
+    let _ = &marks;
+    cycles
+}
+
+/// Resolves a cycle by filtering the most recently added e-node on it
+/// (Algorithm 2, `ResolveCycLE`). If any edge of the cycle has already been
+/// filtered (by resolving an earlier cycle in the same pass), the cycle is
+/// already broken and nothing is filtered.
+pub fn resolve_cycle(egraph: &mut TensorEGraph, cycle: &Cycle) -> Option<TensorLang> {
+    if cycle.iter().any(|(_, node)| egraph.is_filtered(node)) {
+        return None;
+    }
+    let mut newest: Option<(u64, Id, TensorLang)> = None;
+    for (class, node) in cycle {
+        let birth = egraph.node_birth(*class, node).unwrap_or(0);
+        if newest.as_ref().map_or(true, |(b, _, _)| birth > *b) {
+            newest = Some((birth, *class, node.clone()));
+        }
+    }
+    let (_, _, node) = newest?;
+    egraph.filter_node(&node);
+    Some(node)
+}
+
+/// Removes every cycle reachable from `root`, returning the number of
+/// e-nodes filtered (the post-processing loop of Algorithm 2).
+pub fn remove_all_cycles(egraph: &mut TensorEGraph, root: Id) -> usize {
+    let mut filtered = 0;
+    loop {
+        let cycles = find_cycles(egraph, root);
+        if cycles.is_empty() {
+            return filtered;
+        }
+        for cycle in &cycles {
+            if resolve_cycle(egraph, cycle).is_some() {
+                filtered += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensat_ir::{GraphBuilder, TensorAnalysis};
+
+    fn simple_egraph() -> (TensorEGraph, Id) {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[8, 32]);
+        let w1 = g.weight("w1", &[32, 16]);
+        let w2 = g.weight("w2", &[32, 16]);
+        let m1 = g.matmul(x, w1);
+        let m2 = g.matmul(x, w2);
+        let expr = g.finish(&[m1, m2]);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        (eg, root)
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        assert!(!b.contains(5));
+        assert!(b.insert(5));
+        assert!(!b.insert(5));
+        assert!(b.insert(129));
+        assert!(b.contains(129));
+        assert_eq!(b.count(), 2);
+        let mut c = BitSet::new(130);
+        c.insert(7);
+        assert!(b.union_with(&c));
+        assert!(!b.union_with(&c));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn descendants_map_of_a_dag() {
+        let (eg, root) = simple_egraph();
+        let desc = DescendantsMap::compute(&eg);
+        // The root (noop) reaches every other class; no class reaches the root.
+        for class in eg.classes() {
+            if eg.find(class.id) != eg.find(root) {
+                assert!(desc.is_descendant(&eg, root, class.id));
+                assert!(!desc.is_descendant(&eg, class.id, root));
+            }
+        }
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let (eg, root) = simple_egraph();
+        assert!(find_cycles(&eg, root).is_empty());
+    }
+
+    #[test]
+    fn introduced_cycle_is_found_and_resolved() {
+        let (mut eg, root) = simple_egraph();
+        // Manufacture a cycle: claim that x is equal to relu(m1), making
+        // m1's class an ancestor and descendant of x's class.
+        let x = {
+            let sym = tensat_ir::encode_identifier("x", &[8, 32]);
+            let s = eg.lookup(&TensorLang::Str(sym)).unwrap();
+            eg.lookup(&TensorLang::Input([s])).unwrap()
+        };
+        // Find m1's class: any matmul node.
+        let m1 = eg
+            .classes()
+            .find(|c| c.iter().any(|n| matches!(n, TensorLang::Matmul(_))))
+            .map(|c| c.id)
+            .unwrap();
+        let relu = eg.add(TensorLang::Relu([m1]));
+        eg.union(x, relu);
+        eg.rebuild();
+        let cycles = find_cycles(&eg, root);
+        assert!(!cycles.is_empty());
+        let filtered = remove_all_cycles(&mut eg, root);
+        assert!(filtered >= 1);
+        assert!(find_cycles(&eg, root).is_empty());
+        // The filtered node is the newest one (the relu), not the original
+        // graph nodes.
+        assert!(eg.is_filtered(&eg.canonicalize(&TensorLang::Relu([m1]))));
+    }
+
+    #[test]
+    fn would_create_cycle_detects_self_reference() {
+        let (eg, root) = simple_egraph();
+        let desc = DescendantsMap::compute(&eg);
+        // A pattern variable bound to the root itself trivially cycles.
+        let pat = tensat_rules::parse_pattern("(relu ?x)").unwrap();
+        let mut subst = Subst::new();
+        subst.insert(tensat_egraph::Var::new("x"), root);
+        assert!(would_create_cycle(&eg, &desc, root, &pat, &subst));
+        // Bound to a leaf, applying at the root is fine.
+        let x = {
+            let sym = tensat_ir::encode_identifier("x", &[8, 32]);
+            let s = eg.lookup(&TensorLang::Str(sym)).unwrap();
+            eg.lookup(&TensorLang::Input([s])).unwrap()
+        };
+        let mut subst = Subst::new();
+        subst.insert(tensat_egraph::Var::new("x"), x);
+        assert!(!would_create_cycle(&eg, &desc, root, &pat, &subst));
+        // But applying at the leaf a pattern bound to the root cycles.
+        let mut subst = Subst::new();
+        subst.insert(tensat_egraph::Var::new("x"), root);
+        assert!(would_create_cycle(&eg, &desc, x, &pat, &subst));
+    }
+}

@@ -1,0 +1,530 @@
+//! The exploration phase (paper §4): grow the e-graph by applying all
+//! single-pattern and multi-pattern rewrites, with optional cycle
+//! filtering, until saturation or a limit is reached.
+
+use crate::cycles::{remove_all_cycles, would_create_cycle, DescendantsMap};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tensat_egraph::{ENodeOrVar, Id, Pattern, RecExpr, Subst, Var};
+use tensat_ir::{TensorEGraph, TensorLang};
+use tensat_rules::{pattern_is_valid, MultiPatternRule, TensorRewrite};
+
+/// Which cycle-filtering algorithm to run during exploration (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleFilter {
+    /// No filtering: the e-graph may contain cycles, and ILP extraction
+    /// must use the cycle constraints.
+    Off,
+    /// Vanilla filtering: before every candidate application, recompute
+    /// reachability over the whole e-graph (complexity `O(n_m · N)` per
+    /// iteration).
+    Vanilla,
+    /// Efficient filtering: a descendants map computed once per iteration
+    /// pre-filters candidates; a DFS post-processing pass resolves the few
+    /// cycles that slip through (Algorithm 2).
+    Efficient,
+}
+
+/// Limits and options for the exploration phase.
+#[derive(Debug, Clone)]
+pub struct ExplorationConfig {
+    /// Iterations in which multi-pattern rules are applied (`k_multi`).
+    pub k_multi: usize,
+    /// Total iteration limit (`k_max`).
+    pub max_iter: usize,
+    /// E-node limit (`N_max`).
+    pub node_limit: usize,
+    /// Wall-clock limit for the whole exploration phase.
+    pub time_limit: Duration,
+    /// The cycle-filtering algorithm.
+    pub cycle_filter: CycleFilter,
+}
+
+impl Default for ExplorationConfig {
+    /// The paper's defaults: `k_multi = 1`, `k_max = 15`, `N_max = 50 000`.
+    fn default() -> Self {
+        ExplorationConfig {
+            k_multi: 1,
+            max_iter: 15,
+            node_limit: 50_000,
+            time_limit: Duration::from_secs(60),
+            cycle_filter: CycleFilter::Efficient,
+        }
+    }
+}
+
+/// Statistics of one exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ExplorationStats {
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the run stopped because the e-graph saturated.
+    pub saturated: bool,
+    /// Final number of e-nodes.
+    pub enodes: usize,
+    /// Final number of e-classes.
+    pub eclasses: usize,
+    /// Number of e-nodes placed on the cycle filter list.
+    pub filtered_nodes: usize,
+    /// Total wall-clock time of the exploration phase.
+    pub time: Duration,
+    /// E-node count after each iteration.
+    pub nodes_per_iteration: Vec<usize>,
+}
+
+/// Renames the variables of a pattern to canonical names (`?c0`, `?c1`, ...)
+/// in first-occurrence order. Returns the canonical pattern and the map
+/// from canonical to original variables (Algorithm 1, `CANONICAL`).
+pub fn canonicalize_pattern(
+    pattern: &Pattern<TensorLang>,
+) -> (Pattern<TensorLang>, HashMap<Var, Var>) {
+    let mut rename: HashMap<Var, Var> = HashMap::new(); // original -> canonical
+    let mut back: HashMap<Var, Var> = HashMap::new(); // canonical -> original
+    let mut ast = RecExpr::default();
+    for (_, node) in pattern.ast.iter() {
+        match node {
+            ENodeOrVar::Var(v) => {
+                let canonical = *rename.entry(*v).or_insert_with(|| {
+                    let c = Var::new(format!("c{}", back.len()));
+                    back.insert(c, *v);
+                    c
+                });
+                ast.add(ENodeOrVar::Var(canonical));
+            }
+            ENodeOrVar::ENode(n) => {
+                ast.add(ENodeOrVar::ENode(n.clone()));
+            }
+        }
+    }
+    (Pattern::new(ast), back)
+}
+
+/// Translates a substitution over canonical variables back to the original
+/// variables of a rule (Algorithm 1, `DECANONICAL`).
+pub fn decanonicalize_subst(subst: &Subst, back: &HashMap<Var, Var>) -> Subst {
+    let mut out = Subst::new();
+    for (var, id) in subst.iter() {
+        let original = back.get(&var).copied().unwrap_or(var);
+        out.insert(original, id);
+    }
+    out
+}
+
+/// Merges two substitutions, returning `None` if they disagree on a shared
+/// variable (Algorithm 1, `COMPATIBLE`).
+pub fn merge_substs(egraph: &TensorEGraph, a: &Subst, b: &Subst) -> Option<Subst> {
+    let mut out = a.clone();
+    for (var, id) in b.iter() {
+        match out.get(var) {
+            Some(existing) if egraph.find(existing) != egraph.find(id) => return None,
+            Some(_) => {}
+            None => {
+                out.insert(var, id);
+            }
+        }
+    }
+    Some(out)
+}
+
+struct MultiRuleCompiled {
+    rule: MultiPatternRule,
+    /// For each source pattern: index into the unique canonical pattern
+    /// list and the canonical→original variable map.
+    srcs: Vec<(usize, HashMap<Var, Var>)>,
+}
+
+/// Runs the exploration phase on an e-graph already seeded with the input
+/// graph. Returns statistics; the e-graph is grown in place.
+pub fn explore(
+    egraph: &mut TensorEGraph,
+    root: Id,
+    single_rules: &[TensorRewrite],
+    multi_rules: &[MultiPatternRule],
+    config: &ExplorationConfig,
+) -> ExplorationStats {
+    let start = Instant::now();
+    let mut stats = ExplorationStats::default();
+    egraph.rebuild();
+
+    // Canonicalize multi-pattern sources and deduplicate them (Algorithm 1,
+    // lines 1–8).
+    let mut unique_patterns: Vec<Pattern<TensorLang>> = vec![];
+    let mut pattern_index: HashMap<String, usize> = HashMap::new();
+    let compiled: Vec<MultiRuleCompiled> = multi_rules
+        .iter()
+        .map(|rule| {
+            let srcs = rule
+                .srcs
+                .iter()
+                .map(|src| {
+                    let (canon, back) = canonicalize_pattern(src);
+                    let key = canon.to_string();
+                    let idx = *pattern_index.entry(key).or_insert_with(|| {
+                        unique_patterns.push(canon.clone());
+                        unique_patterns.len() - 1
+                    });
+                    (idx, back)
+                })
+                .collect();
+            MultiRuleCompiled {
+                rule: rule.clone(),
+                srcs,
+            }
+        })
+        .collect();
+
+    for iter in 0..config.max_iter {
+        if start.elapsed() >= config.time_limit
+            || egraph.total_number_of_nodes() >= config.node_limit
+        {
+            break;
+        }
+        let nodes_before = egraph.total_number_of_nodes();
+        let unions_before = egraph.union_count();
+
+        // Descendants map for the efficient pre-filter (Algorithm 2, line 3).
+        let mut desc = match config.cycle_filter {
+            CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
+            _ => None,
+        };
+
+        // --- single-pattern rules -----------------------------------------
+        for rw in single_rules {
+            let matches = rw.search(egraph);
+            for m in &matches {
+                for subst in &m.substs {
+                    if egraph.total_number_of_nodes() >= config.node_limit {
+                        break;
+                    }
+                    if let Some(cond) = &rw.condition {
+                        if !cond(egraph, m.eclass, subst) {
+                            continue;
+                        }
+                    }
+                    if skip_for_cycles(
+                        egraph,
+                        config.cycle_filter,
+                        &mut desc,
+                        m.eclass,
+                        &rw.applier,
+                        subst,
+                    ) {
+                        continue;
+                    }
+                    rw.applier.apply_one(egraph, m.eclass, subst);
+                }
+            }
+        }
+
+        // --- multi-pattern rules (only for the first k_multi iterations) ---
+        if iter < config.k_multi {
+            let all_matches: Vec<_> = unique_patterns.iter().map(|p| p.search(egraph)).collect();
+            for mrule in &compiled {
+                apply_multi_rule(egraph, mrule, &all_matches, config, &mut desc, start);
+                if egraph.total_number_of_nodes() >= config.node_limit
+                    || start.elapsed() >= config.time_limit
+                {
+                    break;
+                }
+            }
+        }
+
+        egraph.rebuild();
+
+        // Post-processing: resolve cycles that slipped past the pre-filter
+        // (Algorithm 2, lines 10–18).
+        if config.cycle_filter == CycleFilter::Efficient {
+            stats.filtered_nodes += remove_all_cycles(egraph, root);
+        }
+
+        stats.iterations = iter + 1;
+        stats.nodes_per_iteration.push(egraph.total_number_of_nodes());
+
+        let changed = egraph.total_number_of_nodes() != nodes_before
+            || egraph.union_count() != unions_before;
+        if !changed {
+            stats.saturated = true;
+            break;
+        }
+    }
+
+    stats.enodes = egraph.total_number_of_nodes();
+    stats.eclasses = egraph.number_of_classes();
+    stats.time = start.elapsed();
+    stats
+}
+
+/// Returns true if the candidate application must be skipped because it
+/// would create a cycle under the configured filtering mode.
+fn skip_for_cycles(
+    egraph: &TensorEGraph,
+    filter: CycleFilter,
+    desc: &mut Option<DescendantsMap>,
+    matched: Id,
+    target: &Pattern<TensorLang>,
+    subst: &Subst,
+) -> bool {
+    match filter {
+        CycleFilter::Off => false,
+        CycleFilter::Efficient => {
+            let desc = desc.as_ref().expect("descendants map exists in efficient mode");
+            would_create_cycle(egraph, desc, matched, target, subst)
+        }
+        CycleFilter::Vanilla => {
+            // Vanilla filtering recomputes reachability for every candidate:
+            // a full pass over the e-graph per check (paper §5.2).
+            let fresh = DescendantsMap::compute(egraph);
+            would_create_cycle(egraph, &fresh, matched, target, subst)
+        }
+    }
+}
+
+fn apply_multi_rule(
+    egraph: &mut TensorEGraph,
+    mrule: &MultiRuleCompiled,
+    all_matches: &[Vec<tensat_egraph::SearchMatches>],
+    config: &ExplorationConfig,
+    desc: &mut Option<DescendantsMap>,
+    start: Instant,
+) {
+    // Decanonicalized flat match lists per source pattern.
+    let per_src: Vec<Vec<(Id, Subst)>> = mrule
+        .srcs
+        .iter()
+        .map(|(idx, back)| {
+            all_matches[*idx]
+                .iter()
+                .flat_map(|m| {
+                    m.substs
+                        .iter()
+                        .map(move |s| (m.eclass, decanonicalize_subst(s, back)))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Cartesian product over the source patterns (Algorithm 1, line 16).
+    // All current rules have exactly two sources; the generic recursion
+    // handles more.
+    let mut combo: Vec<(Id, Subst)> = Vec::with_capacity(per_src.len());
+    cartesian(egraph, mrule, &per_src, 0, &mut combo, config, desc, start);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cartesian(
+    egraph: &mut TensorEGraph,
+    mrule: &MultiRuleCompiled,
+    per_src: &[Vec<(Id, Subst)>],
+    depth: usize,
+    combo: &mut Vec<(Id, Subst)>,
+    config: &ExplorationConfig,
+    desc: &mut Option<DescendantsMap>,
+    start: Instant,
+) {
+    if egraph.total_number_of_nodes() >= config.node_limit
+        || start.elapsed() >= config.time_limit
+    {
+        return;
+    }
+    if depth == per_src.len() {
+        apply_combo(egraph, mrule, combo, config, desc);
+        return;
+    }
+    for (eclass, subst) in &per_src[depth] {
+        if mrule.rule.skip_identical
+            && combo
+                .iter()
+                .any(|(c, s)| egraph.find(*c) == egraph.find(*eclass) && s == subst)
+        {
+            continue;
+        }
+        combo.push((*eclass, subst.clone()));
+        cartesian(egraph, mrule, per_src, depth + 1, combo, config, desc, start);
+        combo.pop();
+        if egraph.total_number_of_nodes() >= config.node_limit {
+            return;
+        }
+    }
+}
+
+fn apply_combo(
+    egraph: &mut TensorEGraph,
+    mrule: &MultiRuleCompiled,
+    combo: &[(Id, Subst)],
+    config: &ExplorationConfig,
+    desc: &mut Option<DescendantsMap>,
+) {
+    // Check compatibility at shared variables and build the merged binding.
+    let mut merged = Subst::new();
+    for (_, subst) in combo {
+        match merge_substs(egraph, &merged, subst) {
+            Some(m) => merged = m,
+            None => return,
+        }
+    }
+    // Shape check every target, and make sure output shapes match the
+    // matched classes.
+    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+        if !pattern_is_valid(egraph, dst, &merged) {
+            return;
+        }
+        let target_data = tensat_rules::pattern_data(egraph, dst, &merged);
+        let out_shape = target_data.last().and_then(|d| d.shape().map(|s| s.to_vec()));
+        let class_shape = egraph.eclass(*matched).data.shape().map(|s| s.to_vec());
+        if let (Some(a), Some(b)) = (class_shape, out_shape) {
+            if a != b {
+                return;
+            }
+        }
+    }
+    // Cycle pre-filtering per target.
+    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+        if skip_for_cycles(egraph, config.cycle_filter, desc, *matched, dst, &merged) {
+            return;
+        }
+    }
+    // Apply: union each matched class with its instantiated target.
+    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+        dst.apply_one(egraph, *matched, &merged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensat_ir::{GraphBuilder, TensorAnalysis};
+    use tensat_rules::{multi_rules, parse_pattern, single_rules};
+
+    fn two_matmul_graph() -> (TensorEGraph, Id) {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w1 = g.weight("w1", &[256, 128]);
+        let w2 = g.weight("w2", &[256, 128]);
+        let m1 = g.matmul(x, w1);
+        let m2 = g.matmul(x, w2);
+        let expr = g.finish(&[m1, m2]);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        (eg, root)
+    }
+
+    #[test]
+    fn canonicalization_renames_consistently() {
+        let p = parse_pattern("(matmul ?act ?x ?w1)").unwrap();
+        let (canon, back) = canonicalize_pattern(&p);
+        assert_eq!(canon.to_string(), "(matmul ?c0 ?c1 ?c2)");
+        assert_eq!(back[&Var::new("c1")], Var::new("x"));
+        // Two alpha-equivalent patterns canonicalize identically.
+        let q = parse_pattern("(matmul ?a ?b ?c)").unwrap();
+        let (canon_q, _) = canonicalize_pattern(&q);
+        assert_eq!(canon.to_string(), canon_q.to_string());
+        // Repeated variables keep their identity.
+        let r = parse_pattern("(ewadd ?x ?x)").unwrap();
+        let (canon_r, _) = canonicalize_pattern(&r);
+        assert_eq!(canon_r.to_string(), "(ewadd ?c0 ?c0)");
+    }
+
+    #[test]
+    fn merge_substs_detects_conflicts() {
+        let (eg, root) = two_matmul_graph();
+        let other = eg.classes().map(|c| c.id).find(|&c| eg.find(c) != eg.find(root)).unwrap();
+        let mut a = Subst::new();
+        a.insert(Var::new("x"), root);
+        let mut b = Subst::new();
+        b.insert(Var::new("x"), other);
+        b.insert(Var::new("y"), root);
+        assert!(merge_substs(&eg, &a, &b).is_none());
+        let mut c = Subst::new();
+        c.insert(Var::new("x"), root);
+        c.insert(Var::new("z"), other);
+        let merged = merge_substs(&eg, &a, &c).unwrap();
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn multi_pattern_rule_merges_parallel_matmuls() {
+        let (mut eg, root) = two_matmul_graph();
+        let config = ExplorationConfig {
+            k_multi: 1,
+            max_iter: 3,
+            node_limit: 20_000,
+            ..Default::default()
+        };
+        let stats = explore(&mut eg, root, &[], &multi_rules(), &config);
+        assert!(stats.enodes > 10);
+        // The merged matmul over concatenated weights must now exist.
+        let has_concat_matmul = eg.classes().any(|c| {
+            c.iter().any(|n| matches!(n, TensorLang::Split0(_)))
+        });
+        assert!(has_concat_matmul, "expected split0 node from the multi-pattern rule");
+    }
+
+    #[test]
+    fn exploration_saturates_on_trivial_graph() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[4, 4]);
+        let expr = g.finish(&[x]);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        let stats = explore(
+            &mut eg,
+            root,
+            &single_rules(),
+            &multi_rules(),
+            &ExplorationConfig::default(),
+        );
+        assert!(stats.saturated);
+        assert!(stats.iterations <= 2);
+    }
+
+    #[test]
+    fn node_limit_is_respected() {
+        let (mut eg, root) = two_matmul_graph();
+        let config = ExplorationConfig {
+            k_multi: 3,
+            max_iter: 10,
+            node_limit: 60,
+            ..Default::default()
+        };
+        explore(&mut eg, root, &single_rules(), &multi_rules(), &config);
+        // Growth stops once the limit is crossed (a single batch may
+        // overshoot slightly, but not massively).
+        assert!(eg.total_number_of_nodes() < 600);
+    }
+
+    #[test]
+    fn exploration_with_filtering_leaves_no_cycles() {
+        let (mut eg, root) = two_matmul_graph();
+        let config = ExplorationConfig {
+            k_multi: 2,
+            max_iter: 4,
+            node_limit: 5_000,
+            cycle_filter: CycleFilter::Efficient,
+            ..Default::default()
+        };
+        explore(&mut eg, root, &single_rules(), &multi_rules(), &config);
+        assert!(crate::cycles::find_cycles(&eg, root).is_empty());
+    }
+
+    #[test]
+    fn more_multi_iterations_grow_the_egraph() {
+        let sizes: Vec<usize> = [0usize, 1, 2]
+            .iter()
+            .map(|&k| {
+                let (mut eg, root) = two_matmul_graph();
+                let config = ExplorationConfig {
+                    k_multi: k,
+                    max_iter: 4,
+                    node_limit: 10_000,
+                    ..Default::default()
+                };
+                explore(&mut eg, root, &single_rules(), &multi_rules(), &config);
+                eg.total_number_of_nodes()
+            })
+            .collect();
+        assert!(sizes[1] > sizes[0], "k_multi=1 should grow beyond k_multi=0: {sizes:?}");
+        assert!(sizes[2] >= sizes[1], "k_multi=2 should not shrink: {sizes:?}");
+    }
+}

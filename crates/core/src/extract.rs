@@ -1,0 +1,503 @@
+//! The extraction phase (paper §5): pick one e-node per e-class so that the
+//! resulting graph minimizes the cost model.
+//!
+//! Two extraction algorithms are provided, mirroring the paper:
+//!
+//! * **Greedy** — per e-class minimum subtree cost. Fast, but ignores
+//!   sharing between subgraphs, so it never chooses the `split` form of a
+//!   merged operator (Table 4).
+//! * **ILP** — the integer-linear-program encoding of constraints (1)–(5),
+//!   with the cycle constraints (4)–(5) optional, solved by `tensat-ilp`
+//!   and warm-started from the greedy solution.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tensat_egraph::{CostFunction, Extractor, Id, Language, RecExpr};
+use tensat_ilp::{Cmp, Problem, Solver, Status, VarId};
+use tensat_ir::{CostModel, TensorData, TensorEGraph, TensorLang};
+
+/// The result of one extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractionOutcome {
+    /// The extracted graph.
+    pub expr: RecExpr<TensorLang>,
+    /// Its cost under the cost model (µs of estimated inference time).
+    pub cost: f64,
+    /// Wall-clock time spent extracting.
+    pub time: Duration,
+}
+
+/// Statistics of an ILP extraction.
+#[derive(Debug, Clone)]
+pub struct IlpStats {
+    /// Number of ILP variables.
+    pub num_vars: usize,
+    /// Number of ILP constraints.
+    pub num_constraints: usize,
+    /// Solver status.
+    pub status: Status,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+    /// Solver wall-clock time.
+    pub solve_time: Duration,
+}
+
+/// Errors from extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// No finite-cost term is represented for the root class.
+    NoFiniteTerm,
+    /// The ILP solver proved the encoding infeasible (can happen when every
+    /// candidate in some required class was filtered).
+    Infeasible,
+    /// The selected nodes contain a cycle (only possible when both cycle
+    /// filtering and the ILP cycle constraints are disabled).
+    CyclicSelection,
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::NoFiniteTerm => write!(f, "no finite-cost term represented by the root"),
+            ExtractError::Infeasible => write!(f, "ILP extraction is infeasible"),
+            ExtractError::CyclicSelection => write!(f, "selected e-nodes form a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// A [`CostFunction`] charging each e-node its cost-model cost plus the sum
+/// of its children's costs (tree cost — the greedy approximation).
+#[derive(Debug, Clone)]
+pub struct TreeCost {
+    model: CostModel,
+    class_data: HashMap<Id, TensorData>,
+}
+
+impl TreeCost {
+    /// Snapshots the analysis data of the e-graph for cost evaluation.
+    pub fn new(model: CostModel, egraph: &TensorEGraph) -> Self {
+        TreeCost {
+            model,
+            class_data: egraph.classes().map(|c| (c.id, c.data.clone())).collect(),
+        }
+    }
+}
+
+impl CostFunction<TensorLang> for TreeCost {
+    type Cost = f64;
+    fn cost<C>(&mut self, enode: &TensorLang, mut costs: C) -> f64
+    where
+        C: FnMut(Id) -> f64,
+    {
+        let get = |id: Id| {
+            self.class_data
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| TensorData::invalid("unknown class"))
+        };
+        let own = self.model.node_cost(enode, &get);
+        enode.children().iter().fold(own, |acc, &c| acc + costs(c))
+    }
+}
+
+/// Greedy extraction (paper §5.1): per e-class, pick the e-node with the
+/// smallest subtree cost.
+pub fn extract_greedy(
+    egraph: &TensorEGraph,
+    root: Id,
+    model: &CostModel,
+) -> Result<ExtractionOutcome, ExtractError> {
+    let start = Instant::now();
+    let extractor = Extractor::new(egraph, TreeCost::new(model.clone(), egraph));
+    let (_, expr) = extractor
+        .find_best(root)
+        .ok_or(ExtractError::NoFiniteTerm)?;
+    let cost = model.graph_cost(&expr);
+    Ok(ExtractionOutcome {
+        expr,
+        cost,
+        time: start.elapsed(),
+    })
+}
+
+/// Configuration for ILP extraction.
+#[derive(Debug, Clone)]
+pub struct IlpConfig {
+    /// Include the acyclicity constraints (4)–(5). Required when the
+    /// e-graph may contain cycles (no cycle filtering during exploration).
+    pub cycle_constraints: bool,
+    /// Use integer topological-order variables instead of reals.
+    pub integer_topo_vars: bool,
+    /// Wall-clock limit for the ILP solver.
+    pub time_limit: Duration,
+    /// Seed the solver with the greedy solution as a warm start.
+    pub warm_start_with_greedy: bool,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            cycle_constraints: false,
+            integer_topo_vars: false,
+            time_limit: Duration::from_secs(60),
+            warm_start_with_greedy: true,
+        }
+    }
+}
+
+/// ILP extraction (paper §5.1): encode node selection as a 0/1 program and
+/// solve it with the `tensat-ilp` branch-and-bound solver.
+pub fn extract_ilp(
+    egraph: &TensorEGraph,
+    root: Id,
+    model: &CostModel,
+    config: &IlpConfig,
+) -> Result<(ExtractionOutcome, IlpStats), ExtractError> {
+    let start = Instant::now();
+    let root = egraph.find(root);
+
+    // Collect the classes reachable from the root through unfiltered,
+    // finite-cost e-nodes, in BFS order (a good branching order for the
+    // solver: decisions near the root come first).
+    let mut order: Vec<Id> = vec![root];
+    let mut seen: std::collections::HashSet<Id> = [root].into_iter().collect();
+    let mut i = 0;
+    while i < order.len() {
+        let class = order[i];
+        i += 1;
+        for node in egraph.eclass(class).iter() {
+            if egraph.is_filtered(node) {
+                continue;
+            }
+            for &child in node.children() {
+                let child = egraph.find(child);
+                if seen.insert(child) {
+                    order.push(child);
+                }
+            }
+        }
+    }
+
+    // Candidate e-nodes per class.
+    let mut problem = Problem::new();
+    let mut node_vars: Vec<(Id, TensorLang, VarId)> = vec![];
+    let mut class_vars: HashMap<Id, Vec<VarId>> = HashMap::new();
+    for &class in &order {
+        let mut vars = vec![];
+        for node in egraph.eclass(class).iter() {
+            if egraph.is_filtered(node) {
+                continue;
+            }
+            let cost = model.enode_cost(egraph, node);
+            if !cost.is_finite() {
+                continue;
+            }
+            let var = problem.add_binary(cost);
+            problem.set_name(var, format!("x_{class}_{}", node.display_op()));
+            node_vars.push((class, node.clone(), var));
+            vars.push(var);
+        }
+        class_vars.insert(class, vars);
+    }
+
+    // Constraint (2): exactly one node picked in the root class.
+    let root_vars = class_vars.get(&root).cloned().unwrap_or_default();
+    if root_vars.is_empty() {
+        return Err(ExtractError::NoFiniteTerm);
+    }
+    problem.add_constraint(root_vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 1.0);
+
+    // Constraint (3): a picked node needs one picked node in each child class.
+    for (_, node, var) in &node_vars {
+        for &child in node.children() {
+            let child = egraph.find(child);
+            let child_vars = class_vars.get(&child).cloned().unwrap_or_default();
+            if child_vars.is_empty() {
+                // The child class has no viable candidates: this node can
+                // never be selected.
+                problem.add_constraint(vec![(*var, 1.0)], Cmp::Le, 0.0);
+                continue;
+            }
+            let mut terms = vec![(*var, 1.0)];
+            terms.extend(child_vars.iter().map(|&v| (v, -1.0)));
+            problem.add_constraint(terms, Cmp::Le, 0.0);
+        }
+    }
+
+    // Constraints (4)–(5): topological-order variables rule out cycles.
+    if config.cycle_constraints {
+        let m = order.len() as f64;
+        let mut topo: HashMap<Id, VarId> = HashMap::new();
+        for &class in &order {
+            let var = if config.integer_topo_vars {
+                problem.add_integer(0, order.len() as i64 - 1, 0.0)
+            } else {
+                problem.add_continuous(0.0, 1.0, 0.0)
+            };
+            problem.set_name(var, format!("t_{class}"));
+            topo.insert(class, var);
+        }
+        let eps = 1.0 / (m + 1.0);
+        for (class, node, var) in &node_vars {
+            let t_own = topo[&egraph.find(*class)];
+            for &child in node.children() {
+                let child = egraph.find(child);
+                let t_child = topo[&child];
+                if config.integer_topo_vars {
+                    // t_own - t_child + A(1 - x) >= 1, A >= M
+                    let a = m;
+                    problem.add_constraint(
+                        vec![(t_own, 1.0), (t_child, -1.0), (*var, -a)],
+                        Cmp::Ge,
+                        1.0 - a,
+                    );
+                } else {
+                    // t_own - t_child - eps + A(1 - x) >= 0, A > 1 + eps
+                    let a = 2.0;
+                    problem.add_constraint(
+                        vec![(t_own, 1.0), (t_child, -1.0), (*var, -a)],
+                        Cmp::Ge,
+                        eps - a,
+                    );
+                }
+            }
+        }
+    }
+
+    // Warm start from the greedy solution.
+    let greedy = if config.warm_start_with_greedy {
+        extract_greedy(egraph, root, model).ok()
+    } else {
+        None
+    };
+    let hint = greedy.as_ref().map(|greedy| {
+        let mut values = vec![0.0; problem.num_vars()];
+        // Map the greedy expression's nodes back to (class, canonical node)
+        // pairs: children in the expression are expression-local ids, so
+        // translate them to e-class ids bottom-up first.
+        let mut selected: std::collections::HashSet<(Id, TensorLang)> = Default::default();
+        let mut expr_to_class: Vec<Id> = Vec::with_capacity(greedy.expr.len());
+        for (_, node) in greedy.expr.iter() {
+            let mapped = node.map_children(|c| expr_to_class[usize::from(c)]);
+            match egraph.lookup(&mapped) {
+                Some(class) => {
+                    let class = egraph.find(class);
+                    selected.insert((class, egraph.canonicalize(&mapped)));
+                    expr_to_class.push(class);
+                }
+                None => expr_to_class.push(egraph.find(root)),
+            }
+        }
+        for (class, node, var) in &node_vars {
+            if selected.contains(&(egraph.find(*class), egraph.canonicalize(node))) {
+                values[var.0] = 1.0;
+            }
+        }
+        values
+    });
+
+    let solver = Solver::with_time_limit(config.time_limit);
+    let solution = match &hint {
+        Some(h) => solver.solve_with_hint(&problem, h),
+        None => solver.solve(&problem),
+    };
+    let stats = IlpStats {
+        num_vars: problem.num_vars(),
+        num_constraints: problem.num_constraints(),
+        status: solution.status,
+        nodes_explored: solution.nodes_explored,
+        solve_time: solution.solve_time,
+    };
+    if !solution.has_solution() {
+        return Err(ExtractError::Infeasible);
+    }
+
+    // Read the selection back: for each class, the chosen e-node.
+    let mut choice: HashMap<Id, TensorLang> = HashMap::new();
+    for (class, node, var) in &node_vars {
+        if solution.value(*var) > 0.5 {
+            choice.entry(egraph.find(*class)).or_insert_with(|| node.clone());
+        }
+    }
+    let expr = build_selection(egraph, root, &choice)?;
+    let cost = model.graph_cost(&expr);
+    let mut outcome = ExtractionOutcome {
+        expr,
+        cost,
+        time: start.elapsed(),
+    };
+    // The solver is an any-time procedure: if it hit its budget before
+    // re-discovering the greedy incumbent (e.g. the warm start could not be
+    // translated into a feasible assignment), keep whichever graph is
+    // cheaper so ILP extraction never regresses below greedy.
+    if let Some(greedy) = greedy {
+        if greedy.cost < outcome.cost {
+            outcome.expr = greedy.expr;
+            outcome.cost = greedy.cost;
+        }
+    }
+    Ok((outcome, stats))
+}
+
+/// Builds the extracted expression from a per-class node choice, detecting
+/// cyclic selections.
+fn build_selection(
+    egraph: &TensorEGraph,
+    root: Id,
+    choice: &HashMap<Id, TensorLang>,
+) -> Result<RecExpr<TensorLang>, ExtractError> {
+    fn rec(
+        egraph: &TensorEGraph,
+        class: Id,
+        choice: &HashMap<Id, TensorLang>,
+        expr: &mut RecExpr<TensorLang>,
+        done: &mut HashMap<Id, Id>,
+        on_stack: &mut std::collections::HashSet<Id>,
+    ) -> Result<Id, ExtractError> {
+        let class = egraph.find(class);
+        if let Some(&id) = done.get(&class) {
+            return Ok(id);
+        }
+        if !on_stack.insert(class) {
+            return Err(ExtractError::CyclicSelection);
+        }
+        let node = choice.get(&class).ok_or(ExtractError::Infeasible)?.clone();
+        let mut children = Vec::with_capacity(node.children().len());
+        for &c in node.children() {
+            children.push(rec(egraph, c, choice, expr, done, on_stack)?);
+        }
+        let mut i = 0;
+        let node = node.map_children(|_| {
+            let id = children[i];
+            i += 1;
+            id
+        });
+        let id = expr.add(node);
+        on_stack.remove(&class);
+        done.insert(class, id);
+        Ok(id)
+    }
+    let mut expr = RecExpr::default();
+    let mut done = HashMap::new();
+    let mut on_stack = std::collections::HashSet::new();
+    rec(egraph, root, choice, &mut expr, &mut done, &mut on_stack)?;
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExplorationConfig};
+    use tensat_ir::{GraphBuilder, TensorAnalysis};
+    use tensat_rules::{multi_rules, single_rules};
+
+    /// Two matmuls sharing an input: the case where greedy fails to pick
+    /// the merged form but ILP succeeds (paper §5.1 and Table 4).
+    fn explored_two_matmuls() -> (TensorEGraph, Id, f64) {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w1 = g.weight("w1", &[256, 128]);
+        let w2 = g.weight("w2", &[256, 128]);
+        let m1 = g.matmul(x, w1);
+        let m2 = g.matmul(x, w2);
+        let expr = g.finish(&[m1, m2]);
+        let model = CostModel::default();
+        let original = model.graph_cost(&expr);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        explore(
+            &mut eg,
+            root,
+            &single_rules(),
+            &multi_rules(),
+            &ExplorationConfig {
+                k_multi: 1,
+                max_iter: 4,
+                node_limit: 10_000,
+                ..Default::default()
+            },
+        );
+        (eg, root, original)
+    }
+
+    #[test]
+    fn greedy_extracts_a_valid_graph() {
+        let (eg, root, original) = explored_two_matmuls();
+        let model = CostModel::default();
+        let out = extract_greedy(&eg, root, &model).unwrap();
+        assert!(out.cost.is_finite());
+        assert!(out.cost <= original * 1.001);
+        let data = tensat_ir::infer_recexpr(&out.expr);
+        assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    #[test]
+    fn ilp_beats_greedy_on_shared_subgraphs() {
+        let (eg, root, original) = explored_two_matmuls();
+        let model = CostModel::default();
+        let greedy = extract_greedy(&eg, root, &model).unwrap();
+        let (ilp, stats) = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        assert!(stats.num_vars > 0);
+        assert!(
+            ilp.cost < greedy.cost,
+            "ILP ({}) should beat greedy ({}) by picking the merged matmul",
+            ilp.cost,
+            greedy.cost
+        );
+        assert!(ilp.cost < original);
+        // The ILP graph must contain the split form.
+        assert!(ilp.expr.to_string().contains("split"));
+        let data = tensat_ir::infer_recexpr(&ilp.expr);
+        assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    #[test]
+    fn ilp_with_cycle_constraints_matches_without_on_acyclic_egraph() {
+        let (eg, root, _) = explored_two_matmuls();
+        let model = CostModel::default();
+        let (plain, _) = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        let (with_cycles, _) = extract_ilp(
+            &eg,
+            root,
+            &model,
+            &IlpConfig {
+                cycle_constraints: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((plain.cost - with_cycles.cost).abs() < 1e-6);
+        let (int_topo, _) = extract_ilp(
+            &eg,
+            root,
+            &model,
+            &IlpConfig {
+                cycle_constraints: true,
+                integer_topo_vars: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((plain.cost - int_topo.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extraction_on_unexplored_graph_returns_input() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[8, 8]);
+        let r = g.relu(x);
+        let expr = g.finish(&[r]);
+        let model = CostModel::default();
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        let greedy = extract_greedy(&eg, root, &model).unwrap();
+        assert!((greedy.cost - model.graph_cost(&expr)).abs() < 1e-6);
+        let (ilp, stats) = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        assert!((ilp.cost - greedy.cost).abs() < 1e-6);
+        assert_eq!(stats.status, Status::Optimal);
+    }
+}

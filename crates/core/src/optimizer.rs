@@ -1,0 +1,315 @@
+//! The end-to-end TENSAT optimizer: exploration followed by extraction.
+
+use crate::explore::{explore, CycleFilter, ExplorationConfig, ExplorationStats};
+use crate::extract::{extract_greedy, extract_ilp, ExtractError, IlpConfig, IlpStats};
+use std::time::Duration;
+use tensat_egraph::RecExpr;
+use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph, TensorLang};
+use tensat_rules::{multi_rules, single_rules, MultiPatternRule, TensorRewrite};
+
+/// Which extraction algorithm to run after exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionMode {
+    /// Greedy per-class extraction (paper §5.1, "Greedy extraction").
+    Greedy,
+    /// ILP extraction (paper §5.1, "ILP extraction"). This is TENSAT's
+    /// default configuration.
+    Ilp,
+}
+
+/// Full optimizer configuration.
+///
+/// The defaults follow the paper's experimental setup (§6.1): efficient
+/// cycle filtering, ILP extraction without cycle constraints, `k_multi = 1`,
+/// `k_max = 15`, `N_max = 50 000`.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Iterations in which multi-pattern rules are applied.
+    pub k_multi: usize,
+    /// Total exploration iteration limit.
+    pub max_iter: usize,
+    /// E-node limit for the exploration phase.
+    pub node_limit: usize,
+    /// Wall-clock limit for the exploration phase.
+    pub exploration_time_limit: Duration,
+    /// The cycle-filtering algorithm used during exploration.
+    pub cycle_filter: CycleFilter,
+    /// Which extraction algorithm to use.
+    pub extraction: ExtractionMode,
+    /// Include the ILP acyclicity constraints (only meaningful with
+    /// [`ExtractionMode::Ilp`]; required if `cycle_filter` is `Off`).
+    pub ilp_cycle_constraints: bool,
+    /// Use integer topological-order variables instead of reals.
+    pub ilp_integer_topo_vars: bool,
+    /// Wall-clock limit for the ILP solver.
+    pub ilp_time_limit: Duration,
+    /// The operator cost model.
+    pub cost_model: CostModel,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            k_multi: 1,
+            max_iter: 15,
+            node_limit: 50_000,
+            exploration_time_limit: Duration::from_secs(60),
+            cycle_filter: CycleFilter::Efficient,
+            extraction: ExtractionMode::Ilp,
+            ilp_cycle_constraints: false,
+            ilp_integer_topo_vars: false,
+            ilp_time_limit: Duration::from_secs(60),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationStats {
+    /// Exploration phase statistics.
+    pub exploration: ExplorationStats,
+    /// Extraction wall-clock time.
+    pub extraction_time: Duration,
+    /// ILP statistics (when ILP extraction ran).
+    pub ilp: Option<IlpStats>,
+}
+
+/// The result of optimizing one graph.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// Estimated cost of the input graph (µs).
+    pub original_cost: f64,
+    /// Estimated cost of the optimized graph (µs).
+    pub optimized_cost: f64,
+    /// The optimized graph.
+    pub optimized_graph: RecExpr<TensorLang>,
+    /// Run statistics.
+    pub stats: OptimizationStats,
+}
+
+impl OptimizationResult {
+    /// Speedup of the optimized graph over the original, in percent
+    /// (`(T_original / T_optimized - 1) * 100`, as reported in the paper's
+    /// Table 1 and Figure 4).
+    pub fn speedup_percent(&self) -> f64 {
+        if self.optimized_cost <= 0.0 {
+            return 0.0;
+        }
+        (self.original_cost / self.optimized_cost - 1.0) * 100.0
+    }
+
+    /// Total optimizer time (exploration + extraction).
+    pub fn optimizer_time(&self) -> Duration {
+        self.stats.exploration.time + self.stats.extraction_time
+    }
+}
+
+/// The TENSAT optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use tensat_core::{Optimizer, OptimizerConfig};
+/// use tensat_ir::GraphBuilder;
+/// let mut g = GraphBuilder::new();
+/// let x = g.input("x", &[32, 64]);
+/// let w1 = g.weight("w1", &[64, 64]);
+/// let w2 = g.weight("w2", &[64, 64]);
+/// let m1 = g.matmul(x, w1);
+/// let m2 = g.matmul(x, w2);
+/// let graph = g.finish(&[m1, m2]);
+/// let result = Optimizer::new(OptimizerConfig::default()).optimize(&graph).unwrap();
+/// assert!(result.optimized_cost <= result.original_cost);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+    single_rules: Vec<TensorRewrite>,
+    multi_rules: Vec<MultiPatternRule>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the standard TASO rule set.
+    pub fn new(config: OptimizerConfig) -> Self {
+        Optimizer {
+            config,
+            single_rules: single_rules(),
+            multi_rules: multi_rules(),
+        }
+    }
+
+    /// Creates an optimizer with a custom rule set (TENSAT supports
+    /// flexible rule choices, paper §6.1 footnote 3).
+    pub fn with_rules(
+        config: OptimizerConfig,
+        single_rules: Vec<TensorRewrite>,
+        multi_rules: Vec<MultiPatternRule>,
+    ) -> Self {
+        Optimizer {
+            config,
+            single_rules,
+            multi_rules,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Optimizes a tensor graph: runs exploration then extraction and
+    /// returns the best graph found together with statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExtractError`] if extraction cannot produce a valid
+    /// graph (e.g. the ILP is infeasible under an exhausted time budget).
+    pub fn optimize(&self, graph: &RecExpr<TensorLang>) -> Result<OptimizationResult, ExtractError> {
+        let model = &self.config.cost_model;
+        let original_cost = model.graph_cost(graph);
+
+        let mut egraph = TensorEGraph::new(TensorAnalysis);
+        let root = egraph.add_expr(graph);
+        egraph.rebuild();
+
+        let exploration_config = ExplorationConfig {
+            k_multi: self.config.k_multi,
+            max_iter: self.config.max_iter,
+            node_limit: self.config.node_limit,
+            time_limit: self.config.exploration_time_limit,
+            cycle_filter: self.config.cycle_filter,
+        };
+        let exploration = explore(
+            &mut egraph,
+            root,
+            &self.single_rules,
+            &self.multi_rules,
+            &exploration_config,
+        );
+
+        let (outcome, ilp_stats) = match self.config.extraction {
+            ExtractionMode::Greedy => (extract_greedy(&egraph, root, model)?, None),
+            ExtractionMode::Ilp => {
+                let ilp_config = IlpConfig {
+                    cycle_constraints: self.config.ilp_cycle_constraints,
+                    integer_topo_vars: self.config.ilp_integer_topo_vars,
+                    time_limit: self.config.ilp_time_limit,
+                    warm_start_with_greedy: true,
+                };
+                let (outcome, stats) = extract_ilp(&egraph, root, model, &ilp_config)?;
+                (outcome, Some(stats))
+            }
+        };
+
+        // Never return a graph worse than the input: the input itself is
+        // always represented in the e-graph.
+        let (optimized_graph, optimized_cost) = if outcome.cost <= original_cost {
+            (outcome.expr, outcome.cost)
+        } else {
+            (graph.clone(), original_cost)
+        };
+
+        Ok(OptimizationResult {
+            original_cost,
+            optimized_cost,
+            optimized_graph,
+            stats: OptimizationStats {
+                exploration,
+                extraction_time: outcome.time,
+                ilp: ilp_stats,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensat_ir::{Activation, GraphBuilder, Padding};
+
+    fn parallel_matmul_graph() -> RecExpr<TensorLang> {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w1 = g.weight("w1", &[256, 128]);
+        let w2 = g.weight("w2", &[256, 128]);
+        let w3 = g.weight("w3", &[256, 128]);
+        let m1 = g.matmul_act(Activation::Relu, x, w1);
+        let m2 = g.matmul_act(Activation::Relu, x, w2);
+        let m3 = g.matmul_act(Activation::Relu, x, w3);
+        g.finish(&[m1, m2, m3])
+    }
+
+    #[test]
+    fn optimizer_improves_parallel_matmuls() {
+        let graph = parallel_matmul_graph();
+        let result = Optimizer::new(OptimizerConfig::default())
+            .optimize(&graph)
+            .unwrap();
+        assert!(
+            result.optimized_cost < result.original_cost,
+            "expected improvement: {} -> {}",
+            result.original_cost,
+            result.optimized_cost
+        );
+        assert!(result.speedup_percent() > 0.0);
+        // Extracted graph must be well-typed.
+        let data = tensat_ir::infer_recexpr(&result.optimized_graph);
+        assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    #[test]
+    fn greedy_mode_never_worsens() {
+        let graph = parallel_matmul_graph();
+        let config = OptimizerConfig {
+            extraction: ExtractionMode::Greedy,
+            ..Default::default()
+        };
+        let result = Optimizer::new(config).optimize(&graph).unwrap();
+        assert!(result.optimized_cost <= result.original_cost);
+    }
+
+    #[test]
+    fn ilp_mode_at_least_matches_greedy() {
+        let graph = parallel_matmul_graph();
+        let greedy = Optimizer::new(OptimizerConfig {
+            extraction: ExtractionMode::Greedy,
+            ..Default::default()
+        })
+        .optimize(&graph)
+        .unwrap();
+        let ilp = Optimizer::new(OptimizerConfig::default())
+            .optimize(&graph)
+            .unwrap();
+        assert!(ilp.optimized_cost <= greedy.optimized_cost + 1e-9);
+    }
+
+    #[test]
+    fn conv_relu_fusion_is_found() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[1, 64, 28, 28]);
+        let w = g.weight("w", &[64, 64, 3, 3]);
+        let c = g.conv(x, w, (1, 1), Padding::Same, Activation::None);
+        let r = g.relu(c);
+        let graph = g.finish(&[r]);
+        let result = Optimizer::new(OptimizerConfig::default())
+            .optimize(&graph)
+            .unwrap();
+        assert!(result.optimized_cost < result.original_cost);
+        // The optimized graph fuses the relu into the conv (activation
+        // parameter 1) and drops the standalone relu operator.
+        assert!(!result.optimized_graph.to_string().contains("(relu"));
+    }
+
+    #[test]
+    fn zero_iterations_returns_original() {
+        let graph = parallel_matmul_graph();
+        let config = OptimizerConfig {
+            max_iter: 0,
+            ..Default::default()
+        };
+        let result = Optimizer::new(config).optimize(&graph).unwrap();
+        assert_eq!(result.speedup_percent(), 0.0);
+        assert!((result.optimized_cost - result.original_cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! [`EClass`]: an equivalence class of e-nodes plus its analysis data.
+
+use crate::{Id, Language};
+
+/// An equivalence class of e-nodes.
+///
+/// Every e-node in the class represents the same value (with respect to the
+/// rewrites applied so far). The class also carries the analysis data `D`
+/// and a parent list used for congruence repair during
+/// [`EGraph::rebuild`](crate::EGraph::rebuild).
+#[derive(Debug, Clone)]
+pub struct EClass<L, D> {
+    /// The canonical id of this class at the time of the last rebuild.
+    pub id: Id,
+    /// The e-nodes in this class. After a rebuild these are canonical and
+    /// deduplicated.
+    pub nodes: Vec<L>,
+    /// Birth stamps parallel to `nodes`: the global insertion counter value
+    /// at which each e-node was first added to the e-graph. Used by
+    /// TENSAT's cycle-resolution step ("filter the last-added node").
+    pub node_birth: Vec<u64>,
+    /// The analysis data for this class.
+    pub data: D,
+    /// Parent e-nodes (and the class they live in) that reference this
+    /// class as a child. May contain stale entries between rebuilds.
+    pub(crate) parents: Vec<(L, Id)>,
+}
+
+impl<L: Language, D> EClass<L, D> {
+    /// Number of e-nodes in the class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the class has no e-nodes (never the case for a live class).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the e-nodes in this class.
+    pub fn iter(&self) -> impl Iterator<Item = &L> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over `(e-node, birth stamp)` pairs.
+    pub fn iter_with_birth(&self) -> impl Iterator<Item = (&L, u64)> {
+        self.nodes.iter().zip(self.node_birth.iter().copied())
+    }
+
+    /// True if the class contains only leaf e-nodes.
+    pub fn is_leaf_class(&self) -> bool {
+        self.nodes.iter().all(|n| n.is_leaf())
+    }
+
+    /// The parents recorded for congruence repair (may be stale between
+    /// rebuilds). Exposed for diagnostics only.
+    pub fn parents(&self) -> impl Iterator<Item = (&L, Id)> {
+        self.parents.iter().map(|(n, id)| (n, *id))
+    }
+}

@@ -1,0 +1,663 @@
+//! The [`EGraph`] itself: hash-consed e-node storage, unioning, and
+//! congruence-closure rebuilding.
+
+use crate::{Analysis, EClass, Id, Language, RecExpr, UnionFind};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// An e-graph: a set of e-classes, each a set of equivalent e-nodes, with
+/// hash-consing (structural sharing) and incremental congruence closure.
+///
+/// The design follows egg (Willsey et al. 2021): mutations (`add`, `union`)
+/// are cheap and may temporarily break the congruence invariant; calling
+/// [`EGraph::rebuild`] restores it. Searching (pattern matching, extraction)
+/// should only be done on a clean (rebuilt) e-graph.
+///
+/// In addition to the egg feature set, this e-graph supports a *filter set*
+/// of e-nodes that are considered removed: TENSAT's efficient cycle
+/// filtering (paper §5.2, Algorithm 2) resolves cycles by adding the
+/// offending e-nodes to this set; pattern matching and extraction skip them.
+///
+/// # Examples
+///
+/// ```
+/// use tensat_egraph::{EGraph, Id, Symbol};
+/// use tensat_egraph::doctest_lang::SimpleMath as Math;
+/// let mut eg: EGraph<Math, ()> = EGraph::new(());
+/// let a = eg.add(Math::Sym(Symbol::new("a")));
+/// let two = eg.add(Math::Num(2));
+/// let mul = eg.add(Math::Mul([a, two]));
+/// let mul2 = eg.add(Math::Mul([a, two]));
+/// assert_eq!(mul, mul2); // hash-consing
+/// let one = eg.add(Math::Num(1));
+/// let shl = eg.add(Math::Shl([a, one]));
+/// eg.union(mul, shl);
+/// eg.rebuild();
+/// assert_eq!(eg.find(mul), eg.find(shl));
+/// ```
+#[derive(Clone)]
+pub struct EGraph<L: Language, N: Analysis<L>> {
+    /// The user-provided analysis value (e.g. configuration for shape
+    /// inference). Per-class data lives in each [`EClass`].
+    pub analysis: N,
+    unionfind: UnionFind,
+    memo: HashMap<L, Id>,
+    classes: BTreeMap<Id, EClass<L, N::Data>>,
+    /// Worklist of (e-node, class) pairs whose congruence must be repaired.
+    pending: Vec<(L, Id)>,
+    /// Worklist of (e-node, class) pairs whose analysis data must be
+    /// re-computed.
+    analysis_pending: Vec<(L, Id)>,
+    /// E-nodes considered removed (TENSAT cycle filter list). Keys are kept
+    /// canonical with respect to the current union-find.
+    filtered: HashSet<L>,
+    /// Global insertion counter used to stamp e-node births.
+    ticker: u64,
+    /// Whether the congruence invariant currently holds.
+    clean: bool,
+    /// Number of successful (non-trivial) unions performed since creation.
+    union_count: usize,
+}
+
+impl<L: Language, N: Analysis<L>> EGraph<L, N> {
+    /// Creates an empty e-graph with the given analysis.
+    pub fn new(analysis: N) -> Self {
+        EGraph {
+            analysis,
+            unionfind: UnionFind::new(),
+            memo: HashMap::new(),
+            classes: BTreeMap::new(),
+            pending: vec![],
+            analysis_pending: vec![],
+            filtered: HashSet::new(),
+            ticker: 0,
+            clean: true,
+            union_count: 0,
+        }
+    }
+
+    /// True if the congruence invariant holds (no pending repairs).
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// The number of e-classes.
+    pub fn number_of_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The total number of e-nodes across all classes (including filtered
+    /// nodes; see [`EGraph::num_unfiltered_nodes`]).
+    pub fn total_number_of_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// The number of e-nodes not in the filter set.
+    pub fn num_unfiltered_nodes(&self) -> usize {
+        self.classes
+            .values()
+            .flat_map(|c| c.nodes.iter())
+            .filter(|n| !self.filtered.contains(*n))
+            .count()
+    }
+
+    /// Number of successful unions performed so far.
+    pub fn union_count(&self) -> usize {
+        self.union_count
+    }
+
+    /// Canonicalizes an e-class id.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Canonicalizes an e-class id with path compression.
+    pub fn find_mut(&mut self, id: Id) -> Id {
+        self.unionfind.find_mut(id)
+    }
+
+    /// Returns the canonical form of an e-node (children canonicalized).
+    pub fn canonicalize(&self, enode: &L) -> L {
+        enode.map_children(|c| self.find(c))
+    }
+
+    /// Iterates over all e-classes in id order.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L, N::Data>> {
+        self.classes.values()
+    }
+
+    /// Iterates mutably over all e-classes in id order.
+    pub fn classes_mut(&mut self) -> impl Iterator<Item = &mut EClass<L, N::Data>> {
+        self.classes.values_mut()
+    }
+
+    /// Looks up an e-node, returning the canonical id of its class if it is
+    /// already represented.
+    pub fn lookup(&self, enode: &L) -> Option<Id> {
+        let enode = self.canonicalize(enode);
+        self.memo.get(&enode).map(|&id| self.find(id))
+    }
+
+    /// Adds an e-node, returning the id of its class. If an equivalent
+    /// e-node already exists, no new class is created (hash-consing).
+    pub fn add(&mut self, enode: L) -> Id {
+        let enode = enode.map_children(|c| self.find_mut(c));
+        if let Some(&existing) = self.memo.get(&enode) {
+            return self.find_mut(existing);
+        }
+        let id = self.unionfind.make_set();
+        let data = N::make(self, &enode);
+        let birth = self.ticker;
+        self.ticker += 1;
+        // Register this node as a parent of each child class.
+        for &child in enode.children() {
+            let child = self.find(child);
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((enode.clone(), id));
+        }
+        let class = EClass {
+            id,
+            nodes: vec![enode.clone()],
+            node_birth: vec![birth],
+            data,
+            parents: vec![],
+        };
+        self.classes.insert(id, class);
+        self.memo.insert(enode, id);
+        N::modify(self, id);
+        id
+    }
+
+    /// Adds every node of `expr`, returning the id of the class containing
+    /// the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expr` is empty.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for (_, node) in expr.iter() {
+            let node = node.map_children(|c| ids[usize::from(c)]);
+            ids.push(self.add(node));
+        }
+        *ids.last().expect("cannot add an empty expression")
+    }
+
+    /// Looks up the class of an expression without adding it.
+    pub fn lookup_expr(&self, expr: &RecExpr<L>) -> Option<Id> {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for (_, node) in expr.iter() {
+            let node = node.map_children(|c| ids[usize::from(c)]);
+            ids.push(self.lookup(&node)?);
+        }
+        ids.last().copied()
+    }
+
+    /// Unions two e-classes, returning the canonical id of the merged class
+    /// and whether anything actually changed.
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find_mut(a);
+        let b = self.find_mut(b);
+        if a == b {
+            return (a, false);
+        }
+        self.clean = false;
+        self.union_count += 1;
+        let root = self.unionfind.union(a, b);
+        let other = if root == a { b } else { a };
+
+        let other_class = self
+            .classes
+            .remove(&other)
+            .expect("non-root class must exist");
+        // The absorbed class's parents may now be congruent to existing
+        // nodes; queue them for repair.
+        self.pending
+            .extend(other_class.parents.iter().cloned());
+
+        let root_class = self
+            .classes
+            .get_mut(&root)
+            .expect("root class must exist");
+        let root_parents_snapshot: Vec<(L, Id)> = root_class.parents.clone();
+
+        root_class.nodes.extend(other_class.nodes);
+        root_class.node_birth.extend(other_class.node_birth);
+        root_class.parents.extend(other_class.parents.clone());
+        root_class.id = root;
+
+        let did = self
+            .analysis
+            .merge(&mut root_class.data, other_class.data);
+        // If the kept data changed, the *root's* previous parents may need
+        // their data re-made; if the absorbed data changed, the absorbed
+        // class's parents do.
+        if did.0 {
+            self.analysis_pending.extend(root_parents_snapshot);
+        }
+        if did.1 {
+            self.analysis_pending.extend(other_class.parents);
+        }
+        N::modify(self, root);
+        (root, true)
+    }
+
+    /// Restores the congruence and analysis invariants after a batch of
+    /// `add`/`union` calls. Returns the number of unions performed during
+    /// the repair.
+    pub fn rebuild(&mut self) -> usize {
+        let mut repairs = 0;
+        loop {
+            // Congruence repair.
+            while let Some((node, class)) = self.pending.pop() {
+                let node = node.map_children(|c| self.find_mut(c));
+                let class = self.find_mut(class);
+                if let Some(old) = self.memo.insert(node, class) {
+                    let old = self.find_mut(old);
+                    if old != class {
+                        let (_, did) = self.union(old, class);
+                        if did {
+                            repairs += 1;
+                        }
+                    }
+                }
+            }
+            // Analysis repair.
+            while let Some((node, class)) = self.analysis_pending.pop() {
+                let class = self.find_mut(class);
+                let node = node.map_children(|c| self.find_mut(c));
+                let data = N::make(self, &node);
+                let class_ref = self.classes.get_mut(&class).expect("class must exist");
+                let did = self.analysis.merge(&mut class_ref.data, data);
+                if did.0 {
+                    let parents = class_ref.parents.clone();
+                    self.analysis_pending.extend(parents);
+                    N::modify(self, class);
+                }
+            }
+            if self.pending.is_empty() && self.analysis_pending.is_empty() {
+                break;
+            }
+        }
+        self.finalize_classes();
+        self.clean = true;
+        repairs
+    }
+
+    /// Canonicalizes and deduplicates every class's node list, rebuilds the
+    /// parent lists, re-canonicalizes memo keys and the filter set.
+    fn finalize_classes(&mut self) {
+        // Canonicalize & dedup nodes within each class.
+        let ids: Vec<Id> = self.classes.keys().copied().collect();
+        for id in ids {
+            let mut class = self.classes.remove(&id).expect("class exists");
+            let mut dedup: HashMap<L, u64> = HashMap::with_capacity(class.nodes.len());
+            for (node, birth) in class.nodes.drain(..).zip(class.node_birth.drain(..)) {
+                let node = node.map_children(|c| self.unionfind.find_mut(c));
+                let entry = dedup.entry(node).or_insert(birth);
+                *entry = (*entry).min(birth);
+            }
+            let mut pairs: Vec<(L, u64)> = dedup.into_iter().collect();
+            pairs.sort();
+            class.nodes = pairs.iter().map(|(n, _)| n.clone()).collect();
+            class.node_birth = pairs.iter().map(|(_, b)| *b).collect();
+            class.parents.clear();
+            class.id = id;
+            self.classes.insert(id, class);
+        }
+        // Rebuild parent lists from scratch.
+        let mut parent_updates: Vec<(Id, L, Id)> = vec![];
+        for (&id, class) in &self.classes {
+            for node in &class.nodes {
+                for &child in node.children() {
+                    parent_updates.push((self.unionfind.find(child), node.clone(), id));
+                }
+            }
+        }
+        for (child, node, parent) in parent_updates {
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((node, parent));
+        }
+        // Re-canonicalize memo.
+        let memo = std::mem::take(&mut self.memo);
+        for (node, id) in memo {
+            let node = node.map_children(|c| self.unionfind.find_mut(c));
+            let id = self.unionfind.find_mut(id);
+            self.memo.insert(node, id);
+        }
+        // Re-canonicalize the filter set.
+        let filtered = std::mem::take(&mut self.filtered);
+        self.filtered = filtered
+            .into_iter()
+            .map(|n| n.map_children(|c| self.unionfind.find_mut(c)))
+            .collect();
+    }
+
+    /// Marks an e-node as filtered (treated as removed). The node is
+    /// canonicalized before insertion. Filtered nodes are skipped by pattern
+    /// matching and extraction but remain stored in their class.
+    pub fn filter_node(&mut self, enode: &L) {
+        let node = self.canonicalize(enode);
+        self.filtered.insert(node);
+    }
+
+    /// True if the e-node is in the filter set.
+    pub fn is_filtered(&self, enode: &L) -> bool {
+        let node = self.canonicalize(enode);
+        self.filtered.contains(&node)
+    }
+
+    /// Number of filtered e-nodes.
+    pub fn filtered_count(&self) -> usize {
+        self.filtered.len()
+    }
+
+    /// Clears the filter set.
+    pub fn clear_filtered(&mut self) {
+        self.filtered.clear();
+    }
+
+    /// The birth stamp (global insertion counter) of an e-node, if present.
+    pub fn node_birth(&self, class: Id, enode: &L) -> Option<u64> {
+        let class = self.find(class);
+        let node = self.canonicalize(enode);
+        let c = self.classes.get(&class)?;
+        c.nodes
+            .iter()
+            .position(|n| *n == node)
+            .map(|i| c.node_birth[i])
+    }
+
+    /// Access a class by (possibly non-canonical) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not name a live class.
+    pub fn eclass(&self, id: Id) -> &EClass<L, N::Data> {
+        let id = self.find(id);
+        self.classes
+            .get(&id)
+            .unwrap_or_else(|| panic!("no class for id {id}"))
+    }
+
+    /// Mutable access to a class by (possibly non-canonical) id.
+    pub fn eclass_mut(&mut self, id: Id) -> &mut EClass<L, N::Data> {
+        let id = self.find(id);
+        self.classes
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("no class for id {id}"))
+    }
+
+    /// Extracts *some* concrete expression represented by `id`, preferring
+    /// small terms (useful for debugging and tests; cost-aware extraction
+    /// lives in [`crate::Extractor`]).
+    pub fn id_to_expr(&self, id: Id) -> RecExpr<L> {
+        use crate::extract::{AstSize, Extractor};
+        let extractor = Extractor::new(self, AstSize);
+        let (_, expr) = extractor
+            .find_best(id)
+            .expect("every live class should represent at least one finite term");
+        expr
+    }
+
+    /// Produces a Graphviz dot rendering of the e-graph (classes as
+    /// clusters, e-nodes as records).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph egraph {\n  compound=true;\n  rankdir=TB;\n");
+        for class in self.classes.values() {
+            s.push_str(&format!("  subgraph cluster_{} {{\n    label=\"{}\";\n", class.id, class.id));
+            for (i, node) in class.nodes.iter().enumerate() {
+                let style = if self.filtered.contains(node) {
+                    ",style=dashed"
+                } else {
+                    ""
+                };
+                s.push_str(&format!(
+                    "    n_{}_{} [label=\"{}\"{}];\n",
+                    class.id,
+                    i,
+                    node.display_op(),
+                    style
+                ));
+            }
+            s.push_str("  }\n");
+        }
+        for class in self.classes.values() {
+            for (i, node) in class.nodes.iter().enumerate() {
+                for &child in node.children() {
+                    let child = self.find(child);
+                    s.push_str(&format!(
+                        "  n_{}_{} -> n_{}_0 [lhead=cluster_{}];\n",
+                        class.id, i, child, child
+                    ));
+                }
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl<L: Language, N: Analysis<L>> fmt::Debug for EGraph<L, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EGraph")
+            .field("classes", &self.classes.len())
+            .field("nodes", &self.total_number_of_nodes())
+            .field("filtered", &self.filtered.len())
+            .field("clean", &self.clean)
+            .finish()
+    }
+}
+
+impl<L: Language, N: Analysis<L>> std::ops::Index<Id> for EGraph<L, N> {
+    type Output = EClass<L, N::Data>;
+    fn index(&self, id: Id) -> &Self::Output {
+        self.eclass(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::test_lang::Math;
+    use crate::{DidMerge, Symbol};
+
+    fn sym(s: &str) -> Math {
+        Math::Sym(Symbol::new(s))
+    }
+
+    #[test]
+    fn hashcons_dedups() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("a"));
+        assert_eq!(a, b);
+        assert_eq!(eg.number_of_classes(), 1);
+        let two = eg.add(Math::Num(2));
+        let m1 = eg.add(Math::Mul([a, two]));
+        let m2 = eg.add(Math::Mul([b, two]));
+        assert_eq!(m1, m2);
+        assert_eq!(eg.total_number_of_nodes(), 3);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        assert_ne!(eg.find(a), eg.find(b));
+        let (_, did) = eg.union(a, b);
+        assert!(did);
+        let (_, did2) = eg.union(a, b);
+        assert!(!did2);
+        eg.rebuild();
+        assert_eq!(eg.find(a), eg.find(b));
+        assert_eq!(eg.number_of_classes(), 1);
+        assert_eq!(eg.eclass(a).len(), 2);
+    }
+
+    #[test]
+    fn congruence_closure_via_rebuild() {
+        // If a == b then f(a) == f(b) after rebuild.
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let two = eg.add(Math::Num(2));
+        let fa = eg.add(Math::Mul([a, two]));
+        let fb = eg.add(Math::Mul([b, two]));
+        assert_ne!(eg.find(fa), eg.find(fb));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(fa), eg.find(fb));
+        assert!(eg.is_clean());
+    }
+
+    #[test]
+    fn nested_congruence() {
+        // a == b  implies  g(f(a)) == g(f(b)) through two levels.
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let one = eg.add(Math::Num(1));
+        let fa = eg.add(Math::Add([a, one]));
+        let fb = eg.add(Math::Add([b, one]));
+        let gfa = eg.add(Math::Mul([fa, fa]));
+        let gfb = eg.add(Math::Mul([fb, fb]));
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.find(gfa), eg.find(gfb));
+    }
+
+    #[test]
+    fn add_expr_and_lookup_expr() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let mut e = RecExpr::default();
+        let a = e.add(sym("a"));
+        let two = e.add(Math::Num(2));
+        let m = e.add(Math::Mul([a, two]));
+        e.add(Math::Div([m, two]));
+        let root = eg.add_expr(&e);
+        assert_eq!(eg.lookup_expr(&e), Some(eg.find(root)));
+        assert_eq!(eg.number_of_classes(), 4);
+        // Extracting it back gives the same term.
+        assert_eq!(eg.id_to_expr(root).to_string(), "(/ (* a 2) 2)");
+    }
+
+    #[test]
+    fn filtered_nodes_are_tracked() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let node = Math::Mul([a, two]);
+        assert!(!eg.is_filtered(&node));
+        eg.filter_node(&node);
+        assert!(eg.is_filtered(&node));
+        assert_eq!(eg.filtered_count(), 1);
+        assert_eq!(eg.num_unfiltered_nodes(), 2);
+        assert_eq!(eg.total_number_of_nodes(), 3);
+        // Filter set survives a rebuild.
+        let b = eg.add(sym("b"));
+        eg.union(a, b);
+        eg.rebuild();
+        let node2 = eg.canonicalize(&node);
+        assert!(eg.is_filtered(&node2));
+        let _ = m;
+    }
+
+    #[test]
+    fn birth_stamps_are_monotone() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let b_a = eg.node_birth(a, &sym("a")).unwrap();
+        let b_m = eg.node_birth(m, &Math::Mul([a, two])).unwrap();
+        assert!(b_a < b_m);
+    }
+
+    #[test]
+    fn union_count_tracks_changes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let c = eg.add(sym("c"));
+        assert_eq!(eg.union_count(), 0);
+        eg.union(a, b);
+        eg.union(b, c);
+        eg.union(a, c);
+        assert_eq!(eg.union_count(), 2);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_op() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        eg.add(Math::Mul([a, two]));
+        eg.rebuild();
+        let dot = eg.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains('*'));
+        assert!(dot.contains('a'));
+    }
+
+    /// Analysis that tracks constant values (constant folding lattice).
+    #[derive(Clone, Default)]
+    struct ConstFold;
+    impl Analysis<Math> for ConstFold {
+        type Data = Option<i64>;
+        fn make(egraph: &EGraph<Math, Self>, enode: &Math) -> Self::Data {
+            let c = |id: Id| egraph.eclass(id).data;
+            match enode {
+                Math::Num(n) => Some(*n),
+                Math::Add([a, b]) => Some(c(*a)? + c(*b)?),
+                Math::Mul([a, b]) => Some(c(*a)? * c(*b)?),
+                Math::Shl([a, b]) => Some(c(*a)? << c(*b)?),
+                Math::Div([a, b]) => {
+                    let (a, b) = (c(*a)?, c(*b)?);
+                    if b != 0 && a % b == 0 {
+                        Some(a / b)
+                    } else {
+                        None
+                    }
+                }
+                Math::Sym(_) => None,
+            }
+        }
+        fn merge(&mut self, to: &mut Self::Data, from: Self::Data) -> DidMerge {
+            match (to.as_ref(), from) {
+                (None, Some(v)) => {
+                    *to = Some(v);
+                    DidMerge(true, false)
+                }
+                (Some(_), None) => DidMerge(false, true),
+                (Some(a), Some(b)) => {
+                    assert_eq!(*a, b, "merged classes with different constants");
+                    DidMerge(false, false)
+                }
+                (None, None) => DidMerge(false, false),
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_data_propagates_through_unions() {
+        let mut eg: EGraph<Math, ConstFold> = EGraph::new(ConstFold);
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let a_plus_2 = eg.add(Math::Add([a, two]));
+        assert_eq!(eg.eclass(a_plus_2).data, None);
+        // Learn that a == 3; then a + 2 should fold to 5 after rebuild.
+        let three = eg.add(Math::Num(3));
+        eg.union(a, three);
+        eg.rebuild();
+        assert_eq!(eg.eclass(a_plus_2).data, Some(5));
+    }
+}

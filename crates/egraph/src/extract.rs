@@ -1,0 +1,299 @@
+//! Extraction: choosing one e-node per e-class to produce the best concrete
+//! term represented by an e-graph.
+//!
+//! This module provides the *greedy* extractor (per-class minimum subtree
+//! cost, paper §5.1). The ILP extractor, which accounts for sharing and
+//! acyclicity, lives in `tensat-core` because it depends on the ILP solver
+//! substrate.
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr};
+use std::collections::HashMap;
+
+/// A cost function over e-nodes.
+///
+/// `cost` receives the e-node and a callback giving the already-computed
+/// cost of each child *e-class*; it returns the total cost of the subtree
+/// rooted at this node.
+pub trait CostFunction<L: Language> {
+    /// The cost type; must be totally ordered for extraction to pick minima.
+    type Cost: PartialOrd + Clone + std::fmt::Debug;
+
+    /// Computes the cost of `enode` given a function yielding the best known
+    /// cost of each child class.
+    fn cost<C>(&mut self, enode: &L, costs: C) -> Self::Cost
+    where
+        C: FnMut(Id) -> Self::Cost;
+}
+
+/// Counts AST nodes: the classic "smallest term" cost function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstSize;
+
+impl<L: Language> CostFunction<L> for AstSize {
+    type Cost = usize;
+    fn cost<C>(&mut self, enode: &L, mut costs: C) -> usize
+    where
+        C: FnMut(Id) -> usize,
+    {
+        enode
+            .children()
+            .iter()
+            .fold(1usize, |acc, &c| acc.saturating_add(costs(c)))
+    }
+}
+
+/// AST depth cost function (useful in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AstDepth;
+
+impl<L: Language> CostFunction<L> for AstDepth {
+    type Cost = usize;
+    fn cost<C>(&mut self, enode: &L, mut costs: C) -> usize
+    where
+        C: FnMut(Id) -> usize,
+    {
+        1 + enode
+            .children()
+            .iter()
+            .map(|&c| costs(c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Greedy bottom-up extractor.
+///
+/// For every e-class it computes the e-node with the smallest subtree cost
+/// (a fixpoint over the e-graph, since classes may be mutually recursive).
+/// Filtered e-nodes are ignored. Greedy extraction treats children
+/// independently, so it over-counts shared subgraphs — exactly the weakness
+/// the paper's ILP extraction addresses (paper §5.1, Table 4).
+///
+/// # Examples
+///
+/// ```
+/// use tensat_egraph::{EGraph, Extractor, AstSize, Symbol};
+/// use tensat_egraph::doctest_lang::SimpleMath as Math;
+/// let mut eg: EGraph<Math, ()> = EGraph::new(());
+/// let a = eg.add(Math::Sym(Symbol::new("a")));
+/// let two = eg.add(Math::Num(2));
+/// let mul = eg.add(Math::Mul([a, two]));
+/// eg.union(mul, a); // pretend we proved (* a 2) == a
+/// eg.rebuild();
+/// let extractor = Extractor::new(&eg, AstSize);
+/// let (cost, expr) = extractor.find_best(mul).unwrap();
+/// assert_eq!(cost, 1);
+/// assert_eq!(expr.to_string(), "a");
+/// ```
+pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
+    egraph: &'a EGraph<L, N>,
+    cost_fn: std::cell::RefCell<CF>,
+    best: HashMap<Id, (CF::Cost, L)>,
+}
+
+impl<L: Language, N: Analysis<L>, CF: CostFunction<L>> std::fmt::Debug
+    for Extractor<'_, L, N, CF>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Extractor")
+            .field("classes_with_cost", &self.best.len())
+            .finish()
+    }
+}
+
+impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, CF> {
+    /// Computes best costs for every e-class of the e-graph.
+    pub fn new(egraph: &'a EGraph<L, N>, cost_fn: CF) -> Self {
+        let mut extractor = Extractor {
+            egraph,
+            cost_fn: std::cell::RefCell::new(cost_fn),
+            best: HashMap::new(),
+        };
+        extractor.compute_costs();
+        extractor
+    }
+
+    fn compute_costs(&mut self) {
+        // Fixpoint: keep sweeping until no class's best cost improves.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in self.egraph.classes() {
+                for node in class.iter() {
+                    if self.egraph.is_filtered(node) {
+                        continue;
+                    }
+                    if let Some(cost) = self.node_cost(node) {
+                        let id = self.egraph.find(class.id);
+                        match self.best.get(&id) {
+                            Some((best, _)) if *best <= cost => {}
+                            _ => {
+                                self.best.insert(id, (cost, node.clone()));
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cost of an e-node if all its children already have best costs.
+    fn node_cost(&self, node: &L) -> Option<CF::Cost> {
+        let all_known = node.all(|c| self.best.contains_key(&self.egraph.find(c)));
+        if !all_known {
+            return None;
+        }
+        let mut cf = self.cost_fn.borrow_mut();
+        Some(cf.cost(node, |c| self.best[&self.egraph.find(c)].0.clone()))
+    }
+
+    /// The best cost of a class, if any finite term is represented.
+    pub fn best_cost(&self, id: Id) -> Option<CF::Cost> {
+        self.best.get(&self.egraph.find(id)).map(|(c, _)| c.clone())
+    }
+
+    /// The chosen e-node for a class.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        self.best.get(&self.egraph.find(id)).map(|(_, n)| n)
+    }
+
+    /// Extracts the best term rooted at `root`, returning its cost and the
+    /// term itself. Returns `None` if the class represents no finite term
+    /// (possible when every candidate node was filtered or participates in
+    /// an unavoidable cycle).
+    pub fn find_best(&self, root: Id) -> Option<(CF::Cost, RecExpr<L>)> {
+        let root = self.egraph.find(root);
+        let cost = self.best_cost(root)?;
+        let mut expr = RecExpr::default();
+        let mut cache: HashMap<Id, Id> = HashMap::new();
+        let id = self.build_expr(root, &mut expr, &mut cache)?;
+        debug_assert_eq!(usize::from(id), expr.len() - 1);
+        Some((cost, expr))
+    }
+
+    fn build_expr(
+        &self,
+        class: Id,
+        expr: &mut RecExpr<L>,
+        cache: &mut HashMap<Id, Id>,
+    ) -> Option<Id> {
+        let class = self.egraph.find(class);
+        if let Some(&done) = cache.get(&class) {
+            return Some(done);
+        }
+        let node = self.best_node(class)?.clone();
+        let mut children = Vec::with_capacity(node.children().len());
+        for &c in node.children() {
+            children.push(self.build_expr(c, expr, cache)?);
+        }
+        let mut i = 0;
+        let node = node.map_children(|_| {
+            let id = children[i];
+            i += 1;
+            id
+        });
+        let id = expr.add(node);
+        cache.insert(class, id);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::test_lang::Math;
+    use crate::Symbol;
+
+    fn sym(s: &str) -> Math {
+        Math::Sym(Symbol::new(s))
+    }
+
+    #[test]
+    fn astsize_prefers_smaller_term() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        let div = eg.add(Math::Div([mul, two]));
+        // Teach the e-graph that (/ (* a 2) 2) == a.
+        eg.union(div, a);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(div).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
+    }
+
+    #[test]
+    fn extraction_handles_cycles_in_egraph() {
+        // A cyclic e-class (a == f(a)) still extracts the finite term `a`.
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let one = eg.add(Math::Num(1));
+        let fa = eg.add(Math::Mul([a, one]));
+        eg.union(a, fa);
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(a).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
+    }
+
+    #[test]
+    fn extraction_skips_filtered_nodes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        let one = eg.add(Math::Num(1));
+        let shl = eg.add(Math::Shl([a, one]));
+        eg.union(mul, shl);
+        eg.rebuild();
+        // Filter the shl node; extraction must fall back to the mul node.
+        let one = eg.lookup(&Math::Num(1)).unwrap();
+        eg.filter_node(&Math::Shl([a, one]));
+        let ex = Extractor::new(&eg, AstSize);
+        let (_, best) = ex.find_best(mul).unwrap();
+        assert_eq!(best.to_string(), "(* a 2)");
+    }
+
+    #[test]
+    fn find_best_none_when_everything_filtered() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        eg.rebuild();
+        eg.filter_node(&sym("a"));
+        let ex = Extractor::new(&eg, AstSize);
+        assert!(ex.find_best(a).is_none());
+    }
+
+    #[test]
+    fn astdepth_differs_from_astsize() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let ab = eg.add(Math::Add([a, b]));
+        let abab = eg.add(Math::Add([ab, ab]));
+        eg.rebuild();
+        let size = Extractor::new(&eg, AstSize).best_cost(abab).unwrap();
+        let depth = Extractor::new(&eg, AstDepth).best_cost(abab).unwrap();
+        assert_eq!(depth, 3);
+        assert_eq!(size, 7); // tree size double counts the shared (+ a b)
+    }
+
+    #[test]
+    fn shared_subterms_extract_as_dag() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let ab = eg.add(Math::Add([a, b]));
+        let abab = eg.add(Math::Mul([ab, ab]));
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (_, expr) = ex.find_best(abab).unwrap();
+        // The extracted RecExpr shares the (+ a b) node.
+        assert_eq!(expr.len(), 4);
+        assert_eq!(expr.to_string(), "(* (+ a b) (+ a b))");
+    }
+}

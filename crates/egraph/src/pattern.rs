@@ -1,0 +1,459 @@
+//! Patterns over a [`Language`]: terms with variables, searched for in an
+//! e-graph (e-matching) and instantiated to apply rewrites.
+
+use crate::{Analysis, EGraph, Id, Language, RecExpr, Symbol};
+use std::fmt::{self, Display};
+
+/// A pattern variable, written `?name` in the textual form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Creates a variable from a name (with or without the leading `?`).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        let name = name.strip_prefix('?').unwrap_or(name);
+        Var(Symbol::new(name))
+    }
+}
+
+impl Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A node in a pattern: either a concrete language node (whose children are
+/// pattern ids) or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ENodeOrVar<L> {
+    /// A concrete operator node.
+    ENode(L),
+    /// A pattern variable that matches any e-class.
+    Var(Var),
+}
+
+impl<L: Language> Language for ENodeOrVar<L> {
+    fn matches(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ENodeOrVar::ENode(a), ENodeOrVar::ENode(b)) => a.matches(b),
+            (ENodeOrVar::Var(a), ENodeOrVar::Var(b)) => a == b,
+            _ => false,
+        }
+    }
+    fn children(&self) -> &[Id] {
+        match self {
+            ENodeOrVar::ENode(n) => n.children(),
+            ENodeOrVar::Var(_) => &[],
+        }
+    }
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            ENodeOrVar::ENode(n) => n.children_mut(),
+            ENodeOrVar::Var(_) => &mut [],
+        }
+    }
+    fn display_op(&self) -> String {
+        match self {
+            ENodeOrVar::ENode(n) => n.display_op(),
+            ENodeOrVar::Var(v) => v.to_string(),
+        }
+    }
+}
+
+/// A variable binding produced by a successful match: maps pattern
+/// variables to e-class ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    vec: Vec<(Var, Id)>,
+}
+
+impl Subst {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a binding, returning the previous id if the variable was
+    /// already bound.
+    pub fn insert(&mut self, var: Var, id: Id) -> Option<Id> {
+        for pair in &mut self.vec {
+            if pair.0 == var {
+                return Some(std::mem::replace(&mut pair.1, id));
+            }
+        }
+        self.vec.push((var, id));
+        None
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, var: Var) -> Option<Id> {
+        self.vec.iter().find(|(v, _)| *v == var).map(|(_, id)| *id)
+    }
+
+    /// Iterates over `(variable, e-class)` bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Id)> + '_ {
+        self.vec.iter().copied()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+}
+
+impl std::ops::Index<Var> for Subst {
+    type Output = Id;
+    fn index(&self, var: Var) -> &Id {
+        self.vec
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, id)| id)
+            .unwrap_or_else(|| panic!("variable {var} not bound in substitution"))
+    }
+}
+
+/// All matches of a pattern inside one e-class.
+#[derive(Debug, Clone)]
+pub struct SearchMatches {
+    /// The e-class in which the pattern root matched.
+    pub eclass: Id,
+    /// The substitutions (one per distinct way the pattern matched).
+    pub substs: Vec<Subst>,
+}
+
+/// A pattern: a term with variables, stored as a [`RecExpr`] of
+/// [`ENodeOrVar`] whose root is the last node.
+///
+/// # Examples
+///
+/// ```
+/// use tensat_egraph::{EGraph, Pattern, RecExpr, Id, Symbol, Var, ENodeOrVar};
+/// use tensat_egraph::doctest_lang::SimpleMath as Math;
+/// // Build the pattern (* ?x 2) programmatically.
+/// let mut ast = RecExpr::<ENodeOrVar<Math>>::default();
+/// let x = ast.add(ENodeOrVar::Var(Var::new("x")));
+/// let two = ast.add(ENodeOrVar::ENode(Math::Num(2)));
+/// ast.add(ENodeOrVar::ENode(Math::Mul([x, two])));
+/// let pat = Pattern::new(ast);
+///
+/// let mut eg: EGraph<Math, ()> = EGraph::new(());
+/// let a = eg.add(Math::Sym(Symbol::new("a")));
+/// let two = eg.add(Math::Num(2));
+/// let root = eg.add(Math::Mul([a, two]));
+/// eg.rebuild();
+/// let matches = pat.search(&eg);
+/// assert_eq!(matches.len(), 1);
+/// assert_eq!(matches[0].eclass, eg.find(root));
+/// assert_eq!(matches[0].substs[0][Var::new("x")], eg.find(a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern<L> {
+    /// The pattern term; the root is the last node.
+    pub ast: RecExpr<ENodeOrVar<L>>,
+}
+
+impl<L: Language> Pattern<L> {
+    /// Creates a pattern from its AST.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AST is empty.
+    pub fn new(ast: RecExpr<ENodeOrVar<L>>) -> Self {
+        assert!(!ast.is_empty(), "empty pattern");
+        Pattern { ast }
+    }
+
+    /// The root id within the pattern AST.
+    pub fn root(&self) -> Id {
+        self.ast.root()
+    }
+
+    /// The distinct variables appearing in the pattern, in first-occurrence
+    /// order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vars = vec![];
+        for (_, node) in self.ast.iter() {
+            if let ENodeOrVar::Var(v) = node {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+        }
+        vars
+    }
+
+    /// Searches the entire e-graph for matches of this pattern.
+    ///
+    /// Filtered e-nodes (see [`EGraph::filter_node`]) are never matched.
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        let mut out = vec![];
+        for class in egraph.classes() {
+            if let Some(m) = self.search_eclass(egraph, class.id) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Searches a single e-class for matches of this pattern's root.
+    pub fn search_eclass<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        let eclass = egraph.find(eclass);
+        let substs = self.match_in_class(egraph, self.root(), eclass, Subst::new());
+        if substs.is_empty() {
+            None
+        } else {
+            Some(SearchMatches { eclass, substs })
+        }
+    }
+
+    fn match_in_class<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        pat_id: Id,
+        eclass: Id,
+        subst: Subst,
+    ) -> Vec<Subst> {
+        let eclass = egraph.find(eclass);
+        match &self.ast[pat_id] {
+            ENodeOrVar::Var(v) => match subst.get(*v) {
+                Some(bound) if egraph.find(bound) == eclass => vec![subst],
+                Some(_) => vec![],
+                None => {
+                    let mut s = subst;
+                    s.insert(*v, eclass);
+                    vec![s]
+                }
+            },
+            ENodeOrVar::ENode(pnode) => {
+                let mut results = vec![];
+                for enode in egraph.eclass(eclass).iter() {
+                    if egraph.is_filtered(enode) {
+                        continue;
+                    }
+                    if !pnode.matches(enode) {
+                        continue;
+                    }
+                    debug_assert_eq!(pnode.children().len(), enode.children().len());
+                    let mut partial = vec![subst.clone()];
+                    for (&pchild, &echild) in pnode.children().iter().zip(enode.children()) {
+                        let mut next = vec![];
+                        for s in partial {
+                            next.extend(self.match_in_class(egraph, pchild, echild, s));
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    results.extend(partial);
+                }
+                // Deduplicate identical substitutions (can arise when the
+                // same term is reachable through multiple e-nodes).
+                results.dedup();
+                results
+            }
+        }
+    }
+
+    /// Instantiates the pattern under `subst`, adding the resulting term to
+    /// the e-graph and returning the id of the class containing its root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern variable is unbound in `subst`.
+    pub fn instantiate<N: Analysis<L>>(&self, egraph: &mut EGraph<L, N>, subst: &Subst) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(self.ast.len());
+        for (_, node) in self.ast.iter() {
+            let id = match node {
+                ENodeOrVar::Var(v) => subst
+                    .get(*v)
+                    .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+                ENodeOrVar::ENode(n) => {
+                    let concrete = n.map_children(|c| ids[usize::from(c)]);
+                    egraph.add(concrete)
+                }
+            };
+            ids.push(id);
+        }
+        *ids.last().expect("pattern is non-empty")
+    }
+
+    /// Applies the pattern as a rewrite right-hand side: instantiates it and
+    /// unions the result with `eclass`. Returns the canonical id and whether
+    /// the union changed anything.
+    pub fn apply_one<N: Analysis<L>>(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        eclass: Id,
+        subst: &Subst,
+    ) -> (Id, bool) {
+        let new_root = self.instantiate(egraph, subst);
+        egraph.union(eclass, new_root)
+    }
+
+    /// Converts a concrete expression into a (variable-free) pattern.
+    pub fn from_expr(expr: &RecExpr<L>) -> Self {
+        let mut ast = RecExpr::default();
+        for (_, node) in expr.iter() {
+            ast.add(ENodeOrVar::ENode(node.clone()));
+        }
+        Pattern::new(ast)
+    }
+}
+
+impl<L: Language> Display for Pattern<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::test_lang::Math;
+
+    fn sym(s: &str) -> Math {
+        Math::Sym(Symbol::new(s))
+    }
+
+    /// Pattern (* ?x 2)
+    fn mul_by_two_pattern() -> Pattern<Math> {
+        let mut ast = RecExpr::default();
+        let x = ast.add(ENodeOrVar::Var(Var::new("x")));
+        let two = ast.add(ENodeOrVar::ENode(Math::Num(2)));
+        ast.add(ENodeOrVar::ENode(Math::Mul([x, two])));
+        Pattern::new(ast)
+    }
+
+    #[test]
+    fn var_display_and_parse() {
+        assert_eq!(Var::new("?x"), Var::new("x"));
+        assert_eq!(Var::new("x").to_string(), "?x");
+    }
+
+    #[test]
+    fn search_finds_single_match() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let root = eg.add(Math::Mul([a, two]));
+        eg.rebuild();
+        let pat = mul_by_two_pattern();
+        let ms = pat.search(&eg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].eclass, eg.find(root));
+        assert_eq!(ms[0].substs.len(), 1);
+        assert_eq!(ms[0].substs[0][Var::new("x")], eg.find(a));
+    }
+
+    #[test]
+    fn search_respects_nonlinear_variables() {
+        // Pattern (+ ?x ?x) must only match when both children are the same
+        // e-class.
+        let mut ast = RecExpr::default();
+        let x1 = ast.add(ENodeOrVar::Var(Var::new("x")));
+        let x2 = ast.add(ENodeOrVar::Var(Var::new("x")));
+        ast.add(ENodeOrVar::ENode(Math::Add([x1, x2])));
+        let pat = Pattern::new(ast);
+
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        eg.add(Math::Add([a, b]));
+        let good = eg.add(Math::Add([a, a]));
+        eg.rebuild();
+        let ms = pat.search(&eg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].eclass, eg.find(good));
+    }
+
+    #[test]
+    fn search_skips_filtered_nodes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        eg.add(Math::Mul([a, two]));
+        eg.rebuild();
+        let pat = mul_by_two_pattern();
+        assert_eq!(pat.search(&eg).len(), 1);
+        eg.filter_node(&Math::Mul([a, two]));
+        assert_eq!(pat.search(&eg).len(), 0);
+    }
+
+    #[test]
+    fn apply_adds_and_unions() {
+        // Rewrite (* ?x 2) => (<< ?x 1)
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        eg.rebuild();
+
+        let lhs = mul_by_two_pattern();
+        let mut rhs_ast = RecExpr::default();
+        let x = rhs_ast.add(ENodeOrVar::Var(Var::new("x")));
+        let one = rhs_ast.add(ENodeOrVar::ENode(Math::Num(1)));
+        rhs_ast.add(ENodeOrVar::ENode(Math::Shl([x, one])));
+        let rhs = Pattern::new(rhs_ast);
+
+        let ms = lhs.search(&eg);
+        for m in ms {
+            for s in &m.substs {
+                rhs.apply_one(&mut eg, m.eclass, s);
+            }
+        }
+        eg.rebuild();
+        let shl = eg.lookup(&Math::Shl([a, eg.lookup(&Math::Num(1)).unwrap()]));
+        assert_eq!(shl.map(|i| eg.find(i)), Some(eg.find(mul)));
+    }
+
+    #[test]
+    fn pattern_vars_in_order() {
+        let mut ast = RecExpr::default();
+        let y = ast.add(ENodeOrVar::Var(Var::new("y")));
+        let x = ast.add(ENodeOrVar::Var(Var::new("x")));
+        ast.add(ENodeOrVar::ENode(Math::Add([y, x])));
+        let pat = Pattern::new(ast);
+        assert_eq!(pat.vars(), vec![Var::new("y"), Var::new("x")]);
+        assert_eq!(pat.to_string(), "(+ ?y ?x)");
+    }
+
+    #[test]
+    fn from_expr_matches_itself() {
+        let mut e = RecExpr::default();
+        let a = e.add(sym("a"));
+        let two = e.add(Math::Num(2));
+        e.add(Math::Mul([a, two]));
+        let pat = Pattern::from_expr(&e);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let root = eg.add_expr(&e);
+        eg.rebuild();
+        let ms = pat.search(&eg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].eclass, eg.find(root));
+    }
+
+    #[test]
+    fn subst_insert_and_index() {
+        let mut s = Subst::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(Var::new("x"), Id::from(1usize)), None);
+        assert_eq!(
+            s.insert(Var::new("x"), Id::from(2usize)),
+            Some(Id::from(1usize))
+        );
+        assert_eq!(s[Var::new("x")], Id::from(2usize));
+        assert_eq!(s.get(Var::new("y")), None);
+        assert_eq!(s.len(), 1);
+    }
+}

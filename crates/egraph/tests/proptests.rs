@@ -1,0 +1,147 @@
+//! Property-based tests of the e-graph invariants: hash-consing,
+//! congruence closure, and extraction soundness under random workloads.
+
+use proptest::prelude::*;
+use tensat_egraph::doctest_lang::SimpleMath as Math;
+use tensat_egraph::{AstSize, EGraph, Extractor, Id, RecExpr, Symbol};
+
+/// A random expression generator: a sequence of build steps referencing
+/// earlier nodes only.
+#[derive(Debug, Clone)]
+enum Step {
+    Num(i64),
+    Sym(u8),
+    Add(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+}
+
+fn steps_strategy(max_len: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-4i64..=4).prop_map(Step::Num),
+            (0u8..4).prop_map(Step::Sym),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Add(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Mul(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Step::Div(a, b)),
+        ],
+        1..max_len,
+    )
+}
+
+fn build_expr(steps: &[Step]) -> RecExpr<Math> {
+    let mut e = RecExpr::default();
+    for (i, step) in steps.iter().enumerate() {
+        let pick = |r: usize| Id::from(if i == 0 { 0 } else { r % i });
+        let node = match step {
+            Step::Num(n) => Math::Num(*n),
+            Step::Sym(s) => Math::Sym(Symbol::new(format!("s{s}"))),
+            Step::Add(a, b) if i > 0 => Math::Add([pick(*a), pick(*b)]),
+            Step::Mul(a, b) if i > 0 => Math::Mul([pick(*a), pick(*b)]),
+            Step::Div(a, b) if i > 0 => Math::Div([pick(*a), pick(*b)]),
+            // Fall back to a leaf when there is no earlier node to refer to.
+            _ => Math::Num(0),
+        };
+        e.add(node);
+    }
+    e
+}
+
+proptest! {
+    /// Adding the same expression twice always yields the same root class,
+    /// and the node count does not grow the second time (hash-consing).
+    #[test]
+    fn adding_twice_is_idempotent(steps in steps_strategy(40)) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let r1 = eg.add_expr(&expr);
+        let nodes_after_first = eg.total_number_of_nodes();
+        let r2 = eg.add_expr(&expr);
+        prop_assert_eq!(eg.find(r1), eg.find(r2));
+        prop_assert_eq!(eg.total_number_of_nodes(), nodes_after_first);
+    }
+
+    /// The number of e-nodes never exceeds the number of added nodes, and
+    /// extraction returns a term no larger than the input (AstSize is
+    /// monotone under equality saturation with no rules: it is the input).
+    #[test]
+    fn extraction_roundtrips_without_rules(steps in steps_strategy(40)) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        prop_assert!(eg.total_number_of_nodes() <= expr.len());
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(root).unwrap();
+        prop_assert!(cost >= 1);
+        // Extracted term must itself be representable and re-add to the
+        // same class.
+        let again = eg.add_expr(&best);
+        prop_assert_eq!(eg.find(again), eg.find(root));
+    }
+
+    /// Random unions never break the congruence invariant: after rebuild,
+    /// congruent nodes (same op, equivalent children) are in the same class.
+    #[test]
+    fn rebuild_restores_congruence(
+        steps in steps_strategy(30),
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 1..10)
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let class_ids: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        for (a, b) in unions {
+            let a = class_ids[a % class_ids.len()];
+            let b = class_ids[b % class_ids.len()];
+            eg.union(a, b);
+        }
+        eg.rebuild();
+        prop_assert!(eg.is_clean());
+        // Check congruence: collect all (canonical node -> class) pairs; a
+        // canonical node must never appear in two different classes.
+        let mut seen: std::collections::HashMap<Math, Id> = Default::default();
+        for class in eg.classes() {
+            for node in class.iter() {
+                let canon = eg.canonicalize(node);
+                if let Some(prev) = seen.insert(canon, eg.find(class.id)) {
+                    prop_assert_eq!(prev, eg.find(class.id),
+                        "congruent node appears in two distinct classes");
+                }
+            }
+        }
+    }
+
+    /// Union is order-insensitive: performing the same set of unions in any
+    /// order yields the same partition of classes.
+    #[test]
+    fn union_order_does_not_matter(
+        steps in steps_strategy(25),
+        mut unions in prop::collection::vec((any::<usize>(), any::<usize>()), 1..8)
+    ) {
+        let expr = build_expr(&steps);
+        let build = |pairs: &[(usize, usize)]| {
+            let mut eg: EGraph<Math, ()> = EGraph::new(());
+            let root = eg.add_expr(&expr);
+            eg.rebuild();
+            let ids: Vec<Id> = eg.classes().map(|c| c.id).collect();
+            for &(a, b) in pairs {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                eg.union(a, b);
+            }
+            eg.rebuild();
+            (eg, root)
+        };
+        let (eg1, root1) = build(&unions);
+        unions.reverse();
+        let (eg2, root2) = build(&unions);
+        prop_assert_eq!(eg1.number_of_classes(), eg2.number_of_classes());
+        prop_assert_eq!(eg1.total_number_of_nodes(), eg2.total_number_of_nodes());
+        // The root must extract to the same minimal cost in both.
+        let c1 = Extractor::new(&eg1, AstSize).best_cost(root1);
+        let c2 = Extractor::new(&eg2, AstSize).best_cost(root2);
+        prop_assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,590 @@
+//! A deterministic branch-and-bound solver for mixed 0/1 linear programs.
+//!
+//! The solver is exact given enough time: it enumerates the integral
+//! variables depth-first with constraint propagation (activity-based bound
+//! tightening) at every node and prunes with a partial-assignment lower
+//! bound and the best incumbent found so far. A warm-start hint can seed
+//! the incumbent (TENSAT seeds it with the greedy extraction), and wall
+//! clock / node limits turn the solver into an any-time procedure — the
+//! role SCIP plays in the original system.
+//!
+//! Continuous variables (the topological-order variables of the cycle
+//! constraints, paper §5.1) are handled by bound propagation: once all
+//! integral variables are fixed, every continuous variable is set to its
+//! propagated lower bound, which is feasible for difference-style
+//! constraint systems and optimal when (as in the extraction encoding) the
+//! continuous variables do not appear in the objective.
+
+use crate::problem::{Cmp, Problem, VarId};
+use std::time::{Duration, Instant};
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The returned solution is provably optimal.
+    Optimal,
+    /// A feasible solution was found but the search hit a limit before
+    /// proving optimality.
+    Feasible,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// No feasible solution was found before a limit was hit.
+    Unknown,
+}
+
+/// The result of solving a [`Problem`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Solve status.
+    pub status: Status,
+    /// Variable values (empty when no feasible solution was found).
+    pub values: Vec<f64>,
+    /// Objective value of `values` (infinite when none).
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+    /// Wall-clock time spent.
+    pub solve_time: Duration,
+}
+
+impl Solution {
+    /// The value of a variable in the best solution found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no feasible solution was found.
+    pub fn value(&self, var: VarId) -> f64 {
+        assert!(
+            !self.values.is_empty(),
+            "no feasible solution was found (status {:?})",
+            self.status
+        );
+        self.values[var.0]
+    }
+
+    /// True if a feasible assignment is available.
+    pub fn has_solution(&self) -> bool {
+        !self.values.is_empty()
+    }
+}
+
+/// Branch-and-bound solver configuration.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    /// Wall-clock limit for the search.
+    pub time_limit: Duration,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: usize,
+    /// Numerical tolerance.
+    pub tolerance: f64,
+    /// Maximum propagation sweeps per node.
+    pub max_propagation_passes: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            time_limit: Duration::from_secs(60),
+            node_limit: 2_000_000,
+            tolerance: 1e-6,
+            max_propagation_passes: 20,
+        }
+    }
+}
+
+struct Search<'a> {
+    problem: &'a Problem,
+    cfg: &'a Solver,
+    start: Instant,
+    nodes: usize,
+    best_values: Option<Vec<f64>>,
+    best_objective: f64,
+    hint: Option<&'a [f64]>,
+    hit_limit: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PropResult {
+    Ok,
+    Infeasible,
+}
+
+impl Solver {
+    /// Creates a solver with the given time limit.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        Solver {
+            time_limit,
+            ..Default::default()
+        }
+    }
+
+    /// Solves a problem to minimality (or best effort within limits).
+    pub fn solve(&self, problem: &Problem) -> Solution {
+        self.solve_inner(problem, None)
+    }
+
+    /// Solves with a warm-start hint: a (hopefully feasible) assignment used
+    /// to seed the incumbent and guide branching.
+    pub fn solve_with_hint(&self, problem: &Problem, hint: &[f64]) -> Solution {
+        self.solve_inner(problem, Some(hint))
+    }
+
+    fn solve_inner(&self, problem: &Problem, hint: Option<&[f64]>) -> Solution {
+        let start = Instant::now();
+        let mut search = Search {
+            problem,
+            cfg: self,
+            start,
+            nodes: 0,
+            best_values: None,
+            best_objective: f64::INFINITY,
+            hint,
+            hit_limit: false,
+        };
+        // Seed the incumbent with the hint if it is feasible.
+        if let Some(h) = hint {
+            if problem.is_feasible(h, self.tolerance) {
+                search.best_values = Some(h.to_vec());
+                search.best_objective = problem.objective_value(h);
+            }
+        }
+        let lo: Vec<f64> = problem.kinds().iter().map(|k| k.lo()).collect();
+        let hi: Vec<f64> = problem.kinds().iter().map(|k| k.hi()).collect();
+        search.branch(lo, hi);
+
+        let solve_time = start.elapsed();
+        let (status, values, objective) = match (&search.best_values, search.hit_limit) {
+            (Some(v), false) => (Status::Optimal, v.clone(), search.best_objective),
+            (Some(v), true) => (Status::Feasible, v.clone(), search.best_objective),
+            (None, false) => (Status::Infeasible, vec![], f64::INFINITY),
+            (None, true) => (Status::Unknown, vec![], f64::INFINITY),
+        };
+        Solution {
+            status,
+            values,
+            objective,
+            nodes_explored: search.nodes,
+            solve_time,
+        }
+    }
+}
+
+impl<'a> Search<'a> {
+    fn out_of_budget(&mut self) -> bool {
+        if self.nodes >= self.cfg.node_limit || self.start.elapsed() >= self.cfg.time_limit {
+            self.hit_limit = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Activity-based bound tightening, iterated to (bounded) fixpoint.
+    fn propagate(&self, lo: &mut [f64], hi: &mut [f64]) -> PropResult {
+        let tol = self.cfg.tolerance;
+        for _ in 0..self.cfg.max_propagation_passes {
+            let mut changed = false;
+            for c in self.problem.constraints() {
+                // Minimum and maximum possible activity under current bounds.
+                let mut min_act = 0.0;
+                let mut max_act = 0.0;
+                for &(v, coef) in &c.terms {
+                    if coef >= 0.0 {
+                        min_act += coef * lo[v.0];
+                        max_act += coef * hi[v.0];
+                    } else {
+                        min_act += coef * hi[v.0];
+                        max_act += coef * lo[v.0];
+                    }
+                }
+                let need_le = matches!(c.cmp, Cmp::Le | Cmp::Eq);
+                let need_ge = matches!(c.cmp, Cmp::Ge | Cmp::Eq);
+                if need_le && min_act > c.rhs + tol {
+                    return PropResult::Infeasible;
+                }
+                if need_ge && max_act < c.rhs - tol {
+                    return PropResult::Infeasible;
+                }
+                // Tighten each variable against the residual activity.
+                for &(v, coef) in &c.terms {
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    let (own_min, own_max) = if coef >= 0.0 {
+                        (coef * lo[v.0], coef * hi[v.0])
+                    } else {
+                        (coef * hi[v.0], coef * lo[v.0])
+                    };
+                    if need_le {
+                        // coef * x <= rhs - (min_act - own_min)
+                        let slack = c.rhs - (min_act - own_min);
+                        if coef > 0.0 {
+                            let new_hi = slack / coef;
+                            if new_hi < hi[v.0] - tol {
+                                hi[v.0] = self.round_bound(v, new_hi, false);
+                                changed = true;
+                            }
+                        } else {
+                            let new_lo = slack / coef;
+                            if new_lo > lo[v.0] + tol {
+                                lo[v.0] = self.round_bound(v, new_lo, true);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if need_ge {
+                        // coef * x >= rhs - (max_act - own_max)
+                        let slack = c.rhs - (max_act - own_max);
+                        if coef > 0.0 {
+                            let new_lo = slack / coef;
+                            if new_lo > lo[v.0] + tol {
+                                lo[v.0] = self.round_bound(v, new_lo, true);
+                                changed = true;
+                            }
+                        } else {
+                            let new_hi = slack / coef;
+                            if new_hi < hi[v.0] - tol {
+                                hi[v.0] = self.round_bound(v, new_hi, false);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if lo[v.0] > hi[v.0] + tol {
+                        return PropResult::Infeasible;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        PropResult::Ok
+    }
+
+    fn round_bound(&self, v: VarId, value: f64, is_lower: bool) -> f64 {
+        let kind = self.problem.kinds()[v.0];
+        let value = value.clamp(kind.lo(), kind.hi());
+        if kind.is_integral() {
+            if is_lower {
+                (value - self.cfg.tolerance).ceil()
+            } else {
+                (value + self.cfg.tolerance).floor()
+            }
+        } else {
+            value
+        }
+    }
+
+    /// A valid lower bound on the objective under the given bounds.
+    fn lower_bound(&self, lo: &[f64], hi: &[f64]) -> f64 {
+        self.problem
+            .objective()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if c >= 0.0 { c * lo[i] } else { c * hi[i] })
+            .sum()
+    }
+
+    /// The objective-cheapest completion of the current bounds: every
+    /// unfixed variable sits at whichever bound minimizes its objective
+    /// term. Its objective equals the node's lower bound, so if it is
+    /// feasible it is optimal for the whole subtree.
+    fn cheap_completion(&self, lo: &[f64], hi: &[f64]) -> Vec<f64> {
+        self.problem
+            .objective()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if c >= 0.0 { lo[i] } else { hi[i] })
+            .collect()
+    }
+
+    /// Picks a branching variable: the first unfixed integral variable that
+    /// appears in a constraint violated by the cheap completion, falling
+    /// back to the first unfixed integral variable.
+    fn pick_branch_var(&self, lo: &[f64], hi: &[f64], completion: &[f64]) -> Option<usize> {
+        let tol = self.cfg.tolerance;
+        let unfixed = |i: usize| {
+            self.problem.kinds()[i].is_integral() && hi[i] - lo[i] > tol
+        };
+        for c in self.problem.constraints() {
+            let lhs: f64 = c.terms.iter().map(|(v, coef)| coef * completion[v.0]).sum();
+            let violated = match c.cmp {
+                Cmp::Le => lhs > c.rhs + tol,
+                Cmp::Ge => lhs < c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() > tol,
+            };
+            if violated {
+                if let Some(&(v, _)) = c.terms.iter().find(|(v, _)| unfixed(v.0)) {
+                    return Some(v.0);
+                }
+            }
+        }
+        (0..self.problem.num_vars()).find(|&i| unfixed(i))
+    }
+
+    fn branch(&mut self, mut lo: Vec<f64>, mut hi: Vec<f64>) {
+        self.nodes += 1;
+        if self.out_of_budget() {
+            return;
+        }
+        if self.propagate(&mut lo, &mut hi) == PropResult::Infeasible {
+            return;
+        }
+        let bound = self.lower_bound(&lo, &hi);
+        if bound >= self.best_objective - self.cfg.tolerance {
+            return;
+        }
+
+        // If the cheapest completion of the remaining freedom is feasible,
+        // it is optimal for this subtree: record it and stop descending.
+        let completion = self.cheap_completion(&lo, &hi);
+        if self.problem.is_feasible(&completion, self.cfg.tolerance * 10.0) {
+            let obj = self.problem.objective_value(&completion);
+            if obj < self.best_objective - self.cfg.tolerance {
+                self.best_objective = obj;
+                self.best_values = Some(completion);
+            }
+            return;
+        }
+
+        // Pick a branching variable guided by the violated constraints.
+        let branch_var = self.pick_branch_var(&lo, &hi, &completion);
+
+        match branch_var {
+            None => {
+                // All integral variables fixed: complete the continuous
+                // variables at their propagated lower bounds and check.
+                let mut values: Vec<f64> = lo.clone();
+                for (i, k) in self.problem.kinds().iter().enumerate() {
+                    if k.is_integral() {
+                        values[i] = lo[i].round();
+                    }
+                }
+                if self.problem.is_feasible(&values, self.cfg.tolerance * 10.0) {
+                    let obj = self.problem.objective_value(&values);
+                    if obj < self.best_objective - self.cfg.tolerance {
+                        self.best_objective = obj;
+                        self.best_values = Some(values);
+                    }
+                }
+            }
+            Some(i) => {
+                // Enumerate candidate values for the branching variable,
+                // trying the hinted value first, then the objective-cheaper
+                // bound.
+                let lo_i = lo[i];
+                let hi_i = hi[i];
+                let mut candidates: Vec<f64> = vec![];
+                if let Some(h) = self.hint {
+                    if let Some(&hv) = h.get(i) {
+                        let hv = hv.round();
+                        if hv >= lo_i - self.cfg.tolerance && hv <= hi_i + self.cfg.tolerance {
+                            candidates.push(hv);
+                        }
+                    }
+                }
+                let cheap_first = if self.problem.objective()[i] >= 0.0 {
+                    [lo_i, hi_i]
+                } else {
+                    [hi_i, lo_i]
+                };
+                for v in cheap_first {
+                    let v = v.round();
+                    if !candidates.iter().any(|&c| (c - v).abs() < 0.5) {
+                        candidates.push(v);
+                    }
+                }
+                // For wide integer domains also split at the midpoint rather
+                // than enumerating every value.
+                if hi_i - lo_i > 1.5 {
+                    // Branch as [lo, mid] and [mid+1, hi] instead of value
+                    // enumeration.
+                    let mid = ((lo_i + hi_i) / 2.0).floor();
+                    let mut left_hi = hi.clone();
+                    left_hi[i] = mid;
+                    self.branch(lo.clone(), left_hi);
+                    let mut right_lo = lo.clone();
+                    right_lo[i] = mid + 1.0;
+                    self.branch(right_lo, hi.clone());
+                    return;
+                }
+                for v in candidates {
+                    if v < lo_i - self.cfg.tolerance || v > hi_i + self.cfg.tolerance {
+                        continue;
+                    }
+                    let mut new_lo = lo.clone();
+                    let mut new_hi = hi.clone();
+                    new_lo[i] = v;
+                    new_hi[i] = v;
+                    self.branch(new_lo, new_hi);
+                    if self.hit_limit {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem};
+
+    #[test]
+    fn picks_cheapest_cover() {
+        // minimize x + 2y s.t. x + y >= 1
+        let mut p = Problem::new();
+        let x = p.add_binary(1.0);
+        let y = p.add_binary(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.value(x), 1.0);
+        assert_eq!(sol.value(y), 0.0);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exactly_one_constraint() {
+        // minimize 3a + 2b + 5c s.t. a + b + c == 1
+        let mut p = Problem::new();
+        let a = p.add_binary(3.0);
+        let b = p.add_binary(2.0);
+        let c = p.add_binary(5.0);
+        p.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Eq, 1.0);
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.value(b), 1.0);
+        assert_eq!(sol.value(a) + sol.value(c), 0.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = Problem::new();
+        let x = p.add_binary(1.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Infeasible);
+        assert!(!sol.has_solution());
+    }
+
+    #[test]
+    fn knapsack_style_problem() {
+        // maximize value = minimize -value, subject to weight <= 10.
+        // items: (value, weight): (6,5), (5,4), (5,4), (1,1)
+        let values = [6.0, 5.0, 5.0, 1.0];
+        let weights = [5.0, 4.0, 4.0, 1.0];
+        let mut p = Problem::new();
+        let vars: Vec<_> = values.iter().map(|&v| p.add_binary(-v)).collect();
+        p.add_constraint(
+            vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            Cmp::Le,
+            10.0,
+        );
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Optimal);
+        // Best is items 1, 2 and 4: value 12 at weight 10.
+        assert!((sol.objective + 12.0).abs() < 1e-6);
+        assert_eq!(sol.value(vars[0]), 1.0);
+        assert_eq!(sol.value(vars[3]), 1.0);
+    }
+
+    #[test]
+    fn implication_constraints_extraction_shape() {
+        // A tiny extraction-like problem:
+        //   pick exactly one of {r1, r2} (root class),
+        //   r1 requires a, r2 requires b and c,
+        //   costs: r1=10, r2=1, a=1, b=2, c=3.
+        // Best: r2 + b + c = 6 < r1 + a = 11.
+        let mut p = Problem::new();
+        let r1 = p.add_binary(10.0);
+        let r2 = p.add_binary(1.0);
+        let a = p.add_binary(1.0);
+        let b = p.add_binary(2.0);
+        let c = p.add_binary(3.0);
+        p.add_constraint(vec![(r1, 1.0), (r2, 1.0)], Cmp::Eq, 1.0);
+        // r1 <= a, r2 <= b, r2 <= c
+        p.add_constraint(vec![(r1, 1.0), (a, -1.0)], Cmp::Le, 0.0);
+        p.add_constraint(vec![(r2, 1.0), (b, -1.0)], Cmp::Le, 0.0);
+        p.add_constraint(vec![(r2, 1.0), (c, -1.0)], Cmp::Le, 0.0);
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.value(r2), 1.0);
+        assert_eq!(sol.value(b), 1.0);
+        assert_eq!(sol.value(c), 1.0);
+        assert_eq!(sol.value(r1), 0.0);
+        assert!((sol.objective - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuous_difference_constraints() {
+        // Topological-order style constraints: x binary selects an edge that
+        // forces t1 >= t0 + 0.1; both t in [0,1]. With x forced to 1 the
+        // problem stays feasible; with an additional reversed edge it becomes
+        // infeasible (a cycle).
+        let mut p = Problem::new();
+        let x = p.add_binary(0.0);
+        let t0 = p.add_continuous(0.0, 1.0, 0.0);
+        let t1 = p.add_continuous(0.0, 1.0, 0.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0); // force x = 1
+        let big_a = 2.0;
+        // t1 - t0 - 0.1 + A(1-x) >= 0  ->  t1 - t0 + A*(-x) >= 0.1 - A
+        p.add_constraint(
+            vec![(t1, 1.0), (t0, -1.0), (x, -big_a)],
+            Cmp::Ge,
+            0.1 - big_a,
+        );
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(sol.value(t1) >= sol.value(t0) + 0.1 - 1e-6);
+
+        // Now add the reverse ordering too: t0 >= t1 + 0.1 -> infeasible.
+        p.add_constraint(
+            vec![(t0, 1.0), (t1, -1.0), (x, -big_a)],
+            Cmp::Ge,
+            0.1 - big_a,
+        );
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_improved() {
+        let mut p = Problem::new();
+        let x = p.add_binary(1.0);
+        let y = p.add_binary(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        // Hint the expensive solution; the solver must still find the optimum.
+        let sol = Solver::default().solve_with_hint(&p, &[0.0, 1.0]);
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_returns_feasible_incumbent() {
+        // With a node limit of 1 and a feasible hint, we keep the hint.
+        let mut p = Problem::new();
+        let x = p.add_binary(1.0);
+        let y = p.add_binary(2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        let solver = Solver {
+            node_limit: 1,
+            ..Default::default()
+        };
+        let sol = solver.solve_with_hint(&p, &[1.0, 1.0]);
+        assert_eq!(sol.status, Status::Feasible);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_variables_with_wide_domains() {
+        // minimize z s.t. z >= 7.3 with z integer in [0, 100] -> z = 8.
+        let mut p = Problem::new();
+        let z = p.add_integer(0, 100, 1.0);
+        p.add_constraint(vec![(z, 1.0)], Cmp::Ge, 7.3);
+        let sol = Solver::default().solve(&p);
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.value(z), 8.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests comparing the branch-and-bound solver against brute-force
+//! enumeration on small random 0/1 problems.
+
+use proptest::prelude::*;
+use tensat_ilp::{Cmp, Problem, Solver, Status};
+
+#[derive(Debug, Clone)]
+struct RandomProblem {
+    costs: Vec<f64>,
+    constraints: Vec<(Vec<f64>, u8, f64)>,
+}
+
+fn problem_strategy() -> impl Strategy<Value = RandomProblem> {
+    let n_vars = 2usize..6;
+    n_vars.prop_flat_map(|n| {
+        let costs = prop::collection::vec(0.0f64..10.0, n..=n);
+        let constraint = (
+            prop::collection::vec(-2.0f64..2.0, n..=n),
+            0u8..3,
+            -2.0f64..3.0,
+        );
+        let constraints = prop::collection::vec(constraint, 1..4);
+        (costs, constraints).prop_map(|(costs, constraints)| RandomProblem { costs, constraints })
+    })
+}
+
+fn build(p: &RandomProblem) -> Problem {
+    let mut prob = Problem::new();
+    let vars: Vec<_> = p.costs.iter().map(|&c| prob.add_binary(c)).collect();
+    for (coefs, cmp, rhs) in &p.constraints {
+        let cmp = match cmp {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        prob.add_constraint(
+            vars.iter().zip(coefs).map(|(&v, &c)| (v, c)).collect(),
+            cmp,
+            *rhs,
+        );
+    }
+    prob
+}
+
+/// Brute force over all 2^n assignments.
+fn brute_force(prob: &Problem, n: usize) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0..(1u32 << n) {
+        let values: Vec<f64> = (0..n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        if prob.is_feasible(&values, 1e-9) {
+            let obj = prob.objective_value(&values);
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    /// The solver agrees with brute force on feasibility and optimal value.
+    #[test]
+    fn solver_matches_brute_force(rp in problem_strategy()) {
+        let prob = build(&rp);
+        let n = rp.costs.len();
+        let reference = brute_force(&prob, n);
+        let sol = Solver::default().solve(&prob);
+        match reference {
+            None => prop_assert_eq!(sol.status, Status::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "solver got {} but brute force got {}", sol.objective, best);
+                // The returned assignment must itself be feasible.
+                prop_assert!(prob.is_feasible(&sol.values, 1e-6));
+            }
+        }
+    }
+
+    /// Warm starting with any assignment never changes the optimum.
+    #[test]
+    fn warm_start_does_not_change_optimum(rp in problem_strategy(), seed in 0u32..16) {
+        let prob = build(&rp);
+        let n = rp.costs.len();
+        let hint: Vec<f64> = (0..n).map(|i| ((seed >> i) & 1) as f64).collect();
+        let plain = Solver::default().solve(&prob);
+        let hinted = Solver::default().solve_with_hint(&prob, &hint);
+        prop_assert_eq!(plain.status, hinted.status);
+        if plain.status == Status::Optimal {
+            prop_assert!((plain.objective - hinted.objective).abs() < 1e-6);
+        }
+    }
+}

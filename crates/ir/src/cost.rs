@@ -1,0 +1,322 @@
+//! The analytical operator cost model.
+//!
+//! TASO and TENSAT use the *measured* runtime of each operator on the
+//! target GPU as its cost, and the cost of a graph is the sum of its
+//! operator costs (paper §5). This reproduction has no GPU, so the cost
+//! model is analytical: a roofline over FLOPs and memory traffic plus a
+//! per-kernel launch overhead, with the two properties that drive every
+//! profitable rewrite in the paper:
+//!
+//! 1. *Kernel launch amortisation* — merging two operators into one larger
+//!    operator saves a launch overhead (and usually improves the roofline),
+//!    so the concat/split merging rewrites (paper Fig. 8, 9, 11) pay off.
+//! 2. *Weight pre-computation* — any operator whose output depends only on
+//!    weights costs nothing at inference time (paper Fig. 10), so concats
+//!    of weight kernels are free.
+
+use crate::shape::{infer, infer_recexpr, TensorData};
+use crate::{TensorAnalysis, TensorLang};
+use tensat_egraph::{EGraph, Id, Language, RecExpr};
+
+/// Analytical GPU cost model. Costs are in microseconds.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Peak arithmetic throughput in FLOPs per microsecond.
+    pub flops_per_us: f64,
+    /// Peak memory bandwidth in bytes per microsecond.
+    pub bytes_per_us: f64,
+    /// Fixed overhead per kernel launch, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Bytes per tensor element (fp32).
+    pub bytes_per_element: f64,
+    /// Additional cost charged for a fused activation, in microseconds
+    /// (small but non-zero so fused and unfused graphs are distinguishable).
+    pub fused_activation_us: f64,
+}
+
+impl Default for CostModel {
+    /// Parameters loosely modelled on an NVIDIA T4: ~8 TFLOPS fp32,
+    /// ~300 GB/s, ~5 µs launch overhead.
+    fn default() -> Self {
+        CostModel {
+            flops_per_us: 8.0e6,
+            bytes_per_us: 300.0e3,
+            launch_overhead_us: 5.0,
+            bytes_per_element: 4.0,
+            fused_activation_us: 0.1,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with a different launch overhead (used by ablations).
+    pub fn with_launch_overhead(mut self, us: f64) -> Self {
+        self.launch_overhead_us = us;
+        self
+    }
+
+    fn roofline(&self, flops: f64, bytes: f64) -> f64 {
+        self.launch_overhead_us + (flops / self.flops_per_us).max(bytes / self.bytes_per_us)
+    }
+
+    fn memory_only(&self, bytes: f64) -> f64 {
+        self.launch_overhead_us + bytes / self.bytes_per_us
+    }
+
+    /// The cost (µs) of a single operator node, given a function yielding
+    /// the [`TensorData`] of each child.
+    ///
+    /// Zero-cost nodes: parameter leaves, `input`/`weight`, `noop`,
+    /// metadata-only ops (`split`, `split0`, `split1`, `reshape`, `merge`),
+    /// and any operator whose output is computable from weights alone.
+    pub fn node_cost(&self, node: &TensorLang, get: &dyn Fn(Id) -> TensorData) -> f64 {
+        use TensorLang as L;
+
+        // Parameter leaves and graph plumbing are free.
+        match node {
+            L::Num(_) | L::Str(_) | L::Input(_) | L::Weight(_) | L::Noop(_) => return 0.0,
+            L::Split(_) | L::Split0(_) | L::Split1(_) | L::Reshape(_) | L::Merge(_) => {
+                return 0.0
+            }
+            _ => {}
+        }
+
+        let out = infer(node, get);
+        // Ill-typed nodes are given an effectively infinite cost so that
+        // extraction never selects them.
+        let out_info = match &out {
+            TensorData::Tensor(t) => t.clone(),
+            TensorData::Tuple(a, _) => (**a).clone(),
+            _ => return f64::INFINITY,
+        };
+        // Anything computable from weights alone is pre-computed before
+        // inference and costs nothing at run time.
+        if out_info.weights_only {
+            return 0.0;
+        }
+
+        let out_elems = out_info.elements().max(0) as f64;
+        let child_tensor = |id: Id| -> Option<f64> {
+            get(id).as_tensor().map(|t| t.elements().max(0) as f64)
+        };
+        let sum_input_elems = |ids: &[Id]| -> f64 {
+            ids.iter().filter_map(|&id| child_tensor(id)).sum()
+        };
+
+        match node {
+            L::Ewadd([a, b]) | L::Ewmul([a, b]) => {
+                let bytes = (sum_input_elems(&[*a, *b]) + out_elems) * self.bytes_per_element;
+                self.roofline(out_elems, bytes)
+            }
+            L::Relu([x]) | L::Tanh([x]) | L::Sigmoid([x]) => {
+                let bytes = (sum_input_elems(&[*x]) + out_elems) * self.bytes_per_element;
+                self.roofline(out_elems, bytes)
+            }
+            L::Matmul([act, a, b]) => {
+                let ta = get(*a);
+                let tb = get(*b);
+                let (sa, sb) = match (ta.shape(), tb.shape()) {
+                    (Some(sa), Some(sb)) => (sa.to_vec(), sb.to_vec()),
+                    _ => return f64::INFINITY,
+                };
+                let k = sa[sa.len() - 1] as f64;
+                let mut flops = 2.0 * out_elems * k;
+                if get(*act).as_scalar().unwrap_or(0) != 0 {
+                    flops += out_elems;
+                }
+                let bytes = (sum_input_elems(&[*a, *b]) + out_elems) * self.bytes_per_element;
+                let fused = if get(*act).as_scalar().unwrap_or(0) != 0 {
+                    self.fused_activation_us
+                } else {
+                    0.0
+                };
+                self.roofline(flops, bytes) + fused
+                    + (sb.len() as f64) * 0.0 // keep sb used for clarity
+            }
+            L::Conv([_sh, _sw, _pad, act, x, w]) => {
+                let tw = get(*w);
+                let sw_shape = match tw.shape() {
+                    Some(s) if s.len() == 4 => s.to_vec(),
+                    _ => return f64::INFINITY,
+                };
+                let (ci, kh, kw) = (sw_shape[1] as f64, sw_shape[2] as f64, sw_shape[3] as f64);
+                let mut flops = 2.0 * out_elems * ci * kh * kw;
+                if get(*act).as_scalar().unwrap_or(0) != 0 {
+                    flops += out_elems;
+                }
+                let bytes = (sum_input_elems(&[*x, *w]) + out_elems) * self.bytes_per_element;
+                let fused = if get(*act).as_scalar().unwrap_or(0) != 0 {
+                    self.fused_activation_us
+                } else {
+                    0.0
+                };
+                self.roofline(flops, bytes) + fused
+            }
+            L::Poolmax([x, kh, kw, ..]) | L::Poolavg([x, kh, kw, ..]) => {
+                let k = get(*kh).as_scalar().unwrap_or(1) as f64
+                    * get(*kw).as_scalar().unwrap_or(1) as f64;
+                let flops = out_elems * k;
+                let bytes = (sum_input_elems(&[*x]) + out_elems) * self.bytes_per_element;
+                self.roofline(flops, bytes)
+            }
+            L::Transpose([x, _]) => {
+                let bytes = (sum_input_elems(&[*x]) + out_elems) * self.bytes_per_element;
+                self.memory_only(bytes)
+            }
+            L::Enlarge([x, _]) => {
+                let bytes = (sum_input_elems(&[*x]) + out_elems) * self.bytes_per_element;
+                self.memory_only(bytes)
+            }
+            L::Concat2(_) | L::Concat3(_) | L::Concat4(_) | L::Concat5(_) => {
+                let rest = &node.children()[1..];
+                let bytes = (sum_input_elems(rest) + out_elems) * self.bytes_per_element;
+                self.memory_only(bytes)
+            }
+            // Handled above (zero cost) — unreachable here.
+            L::Num(_)
+            | L::Str(_)
+            | L::Input(_)
+            | L::Weight(_)
+            | L::Noop(_)
+            | L::Split(_)
+            | L::Split0(_)
+            | L::Split1(_)
+            | L::Reshape(_)
+            | L::Merge(_) => 0.0,
+        }
+    }
+
+    /// The cost (µs) of an e-node inside an e-graph, reading children data
+    /// from the e-class analysis.
+    pub fn enode_cost(
+        &self,
+        egraph: &EGraph<TensorLang, TensorAnalysis>,
+        enode: &TensorLang,
+    ) -> f64 {
+        let get = |id: Id| egraph.eclass(id).data.clone();
+        self.node_cost(enode, &get)
+    }
+
+    /// The total cost (µs) of a concrete tensor graph. Structurally
+    /// identical nodes are counted once (the graph is a DAG; shared
+    /// sub-computations run once), matching how TASO costs graphs.
+    pub fn graph_cost(&self, expr: &RecExpr<TensorLang>) -> f64 {
+        let data = infer_recexpr(expr);
+        let get_all = |id: Id| data[usize::from(id)].clone();
+        let mut seen: std::collections::HashSet<&TensorLang> = Default::default();
+        let mut total = 0.0;
+        for (_, node) in expr.iter() {
+            if seen.insert(node) {
+                total += self.node_cost(node, &get_all);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::lang::Activation;
+
+    #[test]
+    fn weights_only_subgraphs_are_free() {
+        let mut g = GraphBuilder::new();
+        let w1 = g.weight("w1", &[64, 64]);
+        let w2 = g.weight("w2", &[64, 64]);
+        let cat = g.concat2(1, w1, w2);
+        let expr = g.finish(&[cat]);
+        let cm = CostModel::default();
+        assert_eq!(cm.graph_cost(&expr), 0.0);
+    }
+
+    #[test]
+    fn merged_matmul_is_cheaper_than_two() {
+        // Two matmuls sharing an input versus one matmul on concatenated
+        // weights followed by split: the merged form must be cheaper (this
+        // is the economics behind the paper's Fig. 8/Fig. 2 rewrite).
+        let cm = CostModel::default();
+
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w1 = g.weight("w1", &[256, 256]);
+        let w2 = g.weight("w2", &[256, 256]);
+        let m1 = g.matmul(x, w1);
+        let m2 = g.matmul(x, w2);
+        let two = g.finish(&[m1, m2]);
+
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w1 = g.weight("w1", &[256, 256]);
+        let w2 = g.weight("w2", &[256, 256]);
+        let cat = g.concat2(1, w1, w2);
+        let mm = g.matmul(x, cat);
+        let split = g.split(1, mm);
+        let s0 = g.split0(split);
+        let s1 = g.split1(split);
+        let merged = g.finish(&[s0, s1]);
+
+        let c_two = cm.graph_cost(&two);
+        let c_merged = cm.graph_cost(&merged);
+        assert!(
+            c_merged < c_two,
+            "merged {c_merged} should be cheaper than separate {c_two}"
+        );
+    }
+
+    #[test]
+    fn fused_activation_is_cheaper_than_separate_relu() {
+        let cm = CostModel::default();
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let r = g.relu(m);
+        let unfused = g.finish(&[r]);
+
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul_act(Activation::Relu, x, w);
+        let fused = g.finish(&[m]);
+
+        assert!(cm.graph_cost(&fused) < cm.graph_cost(&unfused));
+    }
+
+    #[test]
+    fn shared_subgraphs_counted_once() {
+        let cm = CostModel::default();
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let s = g.ewadd(m, m);
+        let expr = g.finish(&[s]);
+        let cost_shared = cm.graph_cost(&expr);
+
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let expr_single = g.finish(&[m]);
+        let cost_single = cm.graph_cost(&expr_single);
+
+        // The shared version adds only an elementwise op on top of a single
+        // matmul (the matmul is not double counted), so it must cost less
+        // than two matmuls and more than one.
+        assert!(cost_shared < cost_single * 2.0);
+        assert!(cost_shared > cost_single);
+    }
+
+    #[test]
+    fn invalid_nodes_cost_infinity() {
+        let cm = CostModel::default();
+        let mut g = GraphBuilder::new();
+        let a = g.input("a", &[8, 100]);
+        let b = g.weight("b", &[128, 64]);
+        let m = g.matmul(a, b); // inner dims mismatch
+        let expr = g.finish(&[m]);
+        assert!(cm.graph_cost(&expr).is_infinite());
+    }
+}

@@ -1,0 +1,21 @@
+//! # tensat-taso
+//!
+//! The sequential baseline TENSAT is compared against: a TASO-style
+//! backtracking search over graph substitutions (Jia et al., SOSP 2019,
+//! Algorithm 2). Where TENSAT applies *all* rewrites simultaneously inside
+//! an e-graph, this baseline repeatedly applies *one* substitution at a
+//! time to a concrete graph, keeps a priority queue of candidate graphs
+//! ordered by cost, and admits candidates whose cost is below
+//! `alpha * best_cost`.
+//!
+//! The baseline reuses the same rule set, the same pattern language, and
+//! the same cost model as TENSAT, so the comparison isolates the search
+//! strategy — exactly the comparison the paper's Tables 1/Figures 4–6 make.
+
+#![warn(missing_docs)]
+
+pub mod backtracking;
+pub mod subst;
+
+pub use backtracking::{BacktrackingConfig, BacktrackingResult, BacktrackingSearch};
+pub use subst::{apply_substitution, find_substitutions, GraphMatch};

@@ -1,0 +1,43 @@
+//! Quickstart: build a small tensor graph and optimize it with TENSAT.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tensat::prelude::*;
+
+fn main() {
+    // A toy "multi-head projection": four matmuls reading the same
+    // activations, each followed by a ReLU. This is exactly the pattern the
+    // paper's Figure 8 rewrite collapses into a single wide matmul.
+    let mut g = GraphBuilder::new();
+    let x = g.input("activations", &[64, 256]);
+    let mut heads = vec![];
+    for i in 0..4 {
+        let w = g.weight(&format!("w{i}"), &[256, 128]);
+        let m = g.matmul(x, w);
+        heads.push(g.relu(m));
+    }
+    let graph = g.finish(&heads);
+
+    println!("input graph ({} nodes):\n  {}\n", graph.len(), graph);
+
+    let config = OptimizerConfig::default();
+    let optimizer = Optimizer::new(config);
+    let result = optimizer
+        .optimize(&graph)
+        .expect("optimization should succeed");
+
+    println!("original cost : {:8.2} µs (estimated)", result.original_cost);
+    println!("optimized cost: {:8.2} µs (estimated)", result.optimized_cost);
+    println!("speedup       : {:8.1} %", result.speedup_percent());
+    println!(
+        "optimizer time: {:8.3} s ({} e-nodes, {} e-classes, {} iterations)",
+        result.optimizer_time().as_secs_f64(),
+        result.stats.exploration.enodes,
+        result.stats.exploration.eclasses,
+        result.stats.exploration.iterations,
+    );
+    println!("\noptimized graph:\n  {}", result.optimized_graph);
+}
