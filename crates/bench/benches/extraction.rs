@@ -43,7 +43,12 @@ fn bench_extraction(c: &mut Criterion) {
             b.iter(|| extract_greedy(&eg, root, &model).unwrap().cost)
         });
         group.bench_with_input(BenchmarkId::new("ilp", parallel), &parallel, |b, _| {
-            b.iter(|| extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap().0.cost)
+            b.iter(|| {
+                extract_ilp(&eg, root, &model, &IlpConfig::default())
+                    .unwrap()
+                    .0
+                    .cost
+            })
         });
     }
     group.finish();

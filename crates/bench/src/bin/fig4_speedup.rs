@@ -5,17 +5,23 @@
 use tensat_bench::{compare_on, write_csv};
 
 fn main() {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     println!("Figure 4: speedup %, mean ± stderr over {reps} runs");
     println!("{:<14} {:>16} {:>16}", "model", "TASO", "TENSAT");
     let mut rows = vec![];
     for &name in tensat_models::BENCHMARKS {
         let k_multi = if name == "Inception-v3" { 2 } else { 1 };
-        let samples: Vec<(f64, f64)> = (0..reps).map(|_| {
-            let r = compare_on(name, k_multi);
-            (r.taso_speedup_pct, r.tensat_speedup_pct)
-        }).collect();
-        let mean = |f: &dyn Fn(&(f64, f64)) -> f64| samples.iter().map(f).sum::<f64>() / reps as f64;
+        let samples: Vec<(f64, f64)> = (0..reps)
+            .map(|_| {
+                let r = compare_on(name, k_multi);
+                (r.taso_speedup_pct, r.tensat_speedup_pct)
+            })
+            .collect();
+        let mean =
+            |f: &dyn Fn(&(f64, f64)) -> f64| samples.iter().map(f).sum::<f64>() / reps as f64;
         let stderr = |f: &dyn Fn(&(f64, f64)) -> f64, m: f64| {
             (samples.iter().map(|s| (f(s) - m).powi(2)).sum::<f64>() / reps as f64).sqrt()
                 / (reps as f64).sqrt()
@@ -25,5 +31,9 @@ fn main() {
         println!("{name:<14} {mt:>8.1} ±{et:>5.2} {ms:>8.1} ±{es:>5.2}");
         rows.push(format!("{name},{mt:.2},{et:.3},{ms:.2},{es:.3}"));
     }
-    write_csv("fig4_speedup.csv", "model,taso_mean,taso_stderr,tensat_mean,tensat_stderr", &rows);
+    write_csv(
+        "fig4_speedup.csv",
+        "model,taso_mean,taso_stderr,tensat_mean,tensat_stderr",
+        &rows,
+    );
 }

@@ -6,17 +6,31 @@ use tensat_bench::{compare_on, write_csv};
 
 fn main() {
     println!("Figure 5: optimizer time (seconds)");
-    println!("{:<14} {:>12} {:>12} {:>12} {:>8}", "model", "TASO total", "TASO best", "TENSAT", "ratio");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>8}",
+        "model", "TASO total", "TASO best", "TENSAT", "ratio"
+    );
     let mut rows = vec![];
     for &name in tensat_models::BENCHMARKS {
         let k_multi = if name == "Inception-v3" { 2 } else { 1 };
         let r = compare_on(name, k_multi);
-        let ratio = if r.tensat_time_s > 0.0 { r.taso_time_s / r.tensat_time_s } else { f64::INFINITY };
+        let ratio = if r.tensat_time_s > 0.0 {
+            r.taso_time_s / r.tensat_time_s
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{:<14} {:>12.3} {:>12.3} {:>12.3} {:>7.1}x",
             r.name, r.taso_time_s, r.taso_best_time_s, r.tensat_time_s, ratio
         );
-        rows.push(format!("{},{:.3},{:.3},{:.3},{:.2}", r.name, r.taso_time_s, r.taso_best_time_s, r.tensat_time_s, ratio));
+        rows.push(format!(
+            "{},{:.3},{:.3},{:.3},{:.2}",
+            r.name, r.taso_time_s, r.taso_best_time_s, r.tensat_time_s, ratio
+        ));
     }
-    write_csv("fig5_time.csv", "model,taso_total_s,taso_best_s,tensat_s,speedup_ratio", &rows);
+    write_csv(
+        "fig5_time.csv",
+        "model,taso_total_s,taso_best_s,tensat_s,speedup_ratio",
+        &rows,
+    );
 }

@@ -20,8 +20,17 @@ fn main() {
             ..Default::default()
         })
         .run(&graph);
-        println!("TASO   n={iters:<4} time {:>8.3}s speedup {:>6.2}%", result.total_time.as_secs_f64(), result.speedup_percent());
-        rows.push(format!("taso,{},{:.3},{:.2}", iters, result.total_time.as_secs_f64(), result.speedup_percent()));
+        println!(
+            "TASO   n={iters:<4} time {:>8.3}s speedup {:>6.2}%",
+            result.total_time.as_secs_f64(),
+            result.speedup_percent()
+        );
+        rows.push(format!(
+            "taso,{},{:.3},{:.2}",
+            iters,
+            result.total_time.as_secs_f64(),
+            result.speedup_percent()
+        ));
     }
     // TENSAT: sweep k_multi and the iteration limit.
     for &(k, iters) in &[(0usize, 3usize), (1, 5), (1, 15), (2, 15)] {
@@ -34,7 +43,16 @@ fn main() {
             result.optimizer_time().as_secs_f64(),
             result.speedup_percent()
         );
-        rows.push(format!("tensat_k{k}_i{iters},{},{:.3},{:.2}", iters, result.optimizer_time().as_secs_f64(), result.speedup_percent()));
+        rows.push(format!(
+            "tensat_k{k}_i{iters},{},{:.3},{:.2}",
+            iters,
+            result.optimizer_time().as_secs_f64(),
+            result.speedup_percent()
+        ));
     }
-    write_csv("fig6_tradeoff.csv", "optimizer,budget,time_s,speedup_pct", &rows);
+    write_csv(
+        "fig6_tradeoff.csv",
+        "optimizer,budget,time_s,speedup_pct",
+        &rows,
+    );
 }

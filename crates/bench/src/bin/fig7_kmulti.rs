@@ -11,7 +11,9 @@ fn main() {
     for &name in tensat_models::BENCHMARKS {
         for &k in &ks {
             let graph = tensat_models::build_benchmark(name, harness_scale());
-            let result = Optimizer::new(tensat_config(k)).optimize(&graph).expect("optimize");
+            let result = Optimizer::new(tensat_config(k))
+                .optimize(&graph)
+                .expect("optimize");
             println!(
                 "{:<14} k={} speedup {:>6.2}%  time {:>8.3}s  enodes {:>8}",
                 name,
@@ -30,5 +32,9 @@ fn main() {
             ));
         }
     }
-    write_csv("fig7_kmulti.csv", "model,k_multi,speedup_pct,time_s,enodes", &rows);
+    write_csv(
+        "fig7_kmulti.csv",
+        "model,k_multi,speedup_pct,time_s,enodes",
+        &rows,
+    );
 }

@@ -7,19 +7,34 @@ use tensat_bench::{compare_on, write_csv};
 
 fn main() {
     println!("Table 1: search time (s) and runtime speedup (%), TASO vs TENSAT");
-    println!("{:<14} {:>10} {:>12} {:>10} {:>12}", "model", "TASO t(s)", "TASO sp(%)", "TSAT t(s)", "TSAT sp(%)");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12}",
+        "model", "TASO t(s)", "TASO sp(%)", "TSAT t(s)", "TSAT sp(%)"
+    );
     let mut rows = vec![];
     for &name in tensat_models::BENCHMARKS {
         let k_multi = if name == "Inception-v3" { 2 } else { 1 };
         let row = compare_on(name, k_multi);
         println!(
             "{:<14} {:>10.2} {:>12.1} {:>10.2} {:>12.1}",
-            row.name, row.taso_time_s, row.taso_speedup_pct, row.tensat_time_s, row.tensat_speedup_pct
+            row.name,
+            row.taso_time_s,
+            row.taso_speedup_pct,
+            row.tensat_time_s,
+            row.tensat_speedup_pct
         );
         rows.push(format!(
             "{},{:.3},{:.2},{:.3},{:.2}",
-            row.name, row.taso_time_s, row.taso_speedup_pct, row.tensat_time_s, row.tensat_speedup_pct
+            row.name,
+            row.taso_time_s,
+            row.taso_speedup_pct,
+            row.tensat_time_s,
+            row.tensat_speedup_pct
         ));
     }
-    write_csv("table1.csv", "model,taso_time_s,taso_speedup_pct,tensat_time_s,tensat_speedup_pct", &rows);
+    write_csv(
+        "table1.csv",
+        "model,taso_time_s,taso_speedup_pct,tensat_time_s,tensat_speedup_pct",
+        &rows,
+    );
 }

@@ -5,12 +5,25 @@ use tensat_bench::{compare_on, write_csv};
 
 fn main() {
     println!("Table 3: TENSAT optimization time breakdown (seconds)");
-    println!("{:<14} {:>12} {:>12} {:>10}", "model", "exploration", "extraction", "e-nodes");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "model", "exploration", "extraction", "e-nodes"
+    );
     let mut rows = vec![];
     for &name in tensat_models::BENCHMARKS {
         let r = compare_on(name, 1);
-        println!("{:<14} {:>12.3} {:>12.3} {:>10}", r.name, r.tensat_explore_s, r.tensat_extract_s, r.tensat_enodes);
-        rows.push(format!("{},{:.3},{:.3},{}", r.name, r.tensat_explore_s, r.tensat_extract_s, r.tensat_enodes));
+        println!(
+            "{:<14} {:>12.3} {:>12.3} {:>10}",
+            r.name, r.tensat_explore_s, r.tensat_extract_s, r.tensat_enodes
+        );
+        rows.push(format!(
+            "{},{:.3},{:.3},{}",
+            r.name, r.tensat_explore_s, r.tensat_extract_s, r.tensat_enodes
+        ));
     }
-    write_csv("table3_breakdown.csv", "model,exploration_s,extraction_s,enodes", &rows);
+    write_csv(
+        "table3_breakdown.csv",
+        "model,exploration_s,extraction_s,enodes",
+        &rows,
+    );
 }

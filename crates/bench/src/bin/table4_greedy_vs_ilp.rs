@@ -6,7 +6,10 @@ use tensat_core::{ExtractionMode, Optimizer};
 
 fn main() {
     println!("Table 4: estimated graph runtime (µs): original, greedy, ILP");
-    println!("{:<14} {:>12} {:>12} {:>12}", "model", "original", "greedy", "ILP");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "model", "original", "greedy", "ILP"
+    );
     let mut rows = vec![];
     for &name in &["BERT", "NasRNN", "NasNet-A"] {
         let graph = tensat_models::build_benchmark(name, harness_scale());
@@ -17,12 +20,21 @@ fn main() {
         })
         .optimize(&graph)
         .expect("greedy");
-        let ilp = Optimizer::new(tensat_config(1)).optimize(&graph).expect("ilp");
+        let ilp = Optimizer::new(tensat_config(1))
+            .optimize(&graph)
+            .expect("ilp");
         println!(
             "{:<14} {:>12.2} {:>12.2} {:>12.2}",
             name, ilp.original_cost, greedy.optimized_cost, ilp.optimized_cost
         );
-        rows.push(format!("{},{:.3},{:.3},{:.3}", name, ilp.original_cost, greedy.optimized_cost, ilp.optimized_cost));
+        rows.push(format!(
+            "{},{:.3},{:.3},{:.3}",
+            name, ilp.original_cost, greedy.optimized_cost, ilp.optimized_cost
+        ));
     }
-    write_csv("table4_greedy_vs_ilp.csv", "model,original_us,greedy_us,ilp_us", &rows);
+    write_csv(
+        "table4_greedy_vs_ilp.csv",
+        "model,original_us,greedy_us,ilp_us",
+        &rows,
+    );
 }

@@ -12,7 +12,10 @@ fn main() {
     let model = CostModel::default();
     let ilp_time_limit = Duration::from_secs(60);
     println!("Table 5: ILP solve time (s), with cycle constraints (real / int) vs without");
-    println!("{:<12} {:>3} {:>12} {:>12} {:>12}", "model", "k", "real", "int", "without");
+    println!(
+        "{:<12} {:>3} {:>12} {:>12} {:>12}",
+        "model", "k", "real", "int", "without"
+    );
     let mut rows = vec![];
     for &name in &["BERT", "NasRNN", "NasNet-A"] {
         for k in [1usize, 2] {
@@ -20,13 +23,19 @@ fn main() {
             let mut eg = TensorEGraph::new(TensorAnalysis);
             let root = eg.add_expr(&graph);
             eg.rebuild();
-            explore(&mut eg, root, &single_rules(), &multi_rules(), &ExplorationConfig {
-                k_multi: k,
-                max_iter: 8,
-                node_limit: 8_000,
-                time_limit: Duration::from_secs(20),
-                cycle_filter: CycleFilter::Efficient,
-            });
+            explore(
+                &mut eg,
+                root,
+                &single_rules(),
+                &multi_rules(),
+                &ExplorationConfig {
+                    k_multi: k,
+                    max_iter: 8,
+                    node_limit: 8_000,
+                    time_limit: Duration::from_secs(20),
+                    cycle_filter: CycleFilter::Efficient,
+                },
+            );
             let time_of = |cycle: bool, int: bool| {
                 let cfg = IlpConfig {
                     cycle_constraints: cycle,
@@ -46,5 +55,9 @@ fn main() {
             rows.push(format!("{name},{k},{real:.4},{int:.4},{without:.4}"));
         }
     }
-    write_csv("table5_cycle_constraints.csv", "model,k_multi,with_real_s,with_int_s,without_s", &rows);
+    write_csv(
+        "table5_cycle_constraints.csv",
+        "model,k_multi,with_real_s,with_int_s,without_s",
+        &rows,
+    );
 }

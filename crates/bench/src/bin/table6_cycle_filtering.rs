@@ -10,7 +10,10 @@ use tensat_rules::{multi_rules, single_rules};
 
 fn main() {
     println!("Table 6: exploration time (s), vanilla vs efficient cycle filtering");
-    println!("{:<12} {:>3} {:>12} {:>12}", "model", "k", "vanilla", "efficient");
+    println!(
+        "{:<12} {:>3} {:>12} {:>12}",
+        "model", "k", "vanilla", "efficient"
+    );
     let mut rows = vec![];
     for &name in &["BERT", "NasRNN", "NasNet-A"] {
         for k in [1usize, 2] {
@@ -19,13 +22,19 @@ fn main() {
                 let mut eg = TensorEGraph::new(TensorAnalysis);
                 let root = eg.add_expr(&graph);
                 eg.rebuild();
-                let stats = explore(&mut eg, root, &single_rules(), &multi_rules(), &ExplorationConfig {
-                    k_multi: k,
-                    max_iter: 8,
-                    node_limit: 8_000,
-                    time_limit: Duration::from_secs(120),
-                    cycle_filter: filter,
-                });
+                let stats = explore(
+                    &mut eg,
+                    root,
+                    &single_rules(),
+                    &multi_rules(),
+                    &ExplorationConfig {
+                        k_multi: k,
+                        max_iter: 8,
+                        node_limit: 8_000,
+                        time_limit: Duration::from_secs(120),
+                        cycle_filter: filter,
+                    },
+                );
                 stats.time.as_secs_f64()
             };
             let efficient = time_of(CycleFilter::Efficient);
@@ -34,5 +43,9 @@ fn main() {
             rows.push(format!("{name},{k},{vanilla:.4},{efficient:.4}"));
         }
     }
-    write_csv("table6_cycle_filtering.csv", "model,k_multi,vanilla_s,efficient_s", &rows);
+    write_csv(
+        "table6_cycle_filtering.csv",
+        "model,k_multi,vanilla_s,efficient_s",
+        &rows,
+    );
 }

@@ -243,7 +243,7 @@ pub fn resolve_cycle(egraph: &mut TensorEGraph, cycle: &Cycle) -> Option<TensorL
     let mut newest: Option<(u64, Id, TensorLang)> = None;
     for (class, node) in cycle {
         let birth = egraph.node_birth(*class, node).unwrap_or(0);
-        if newest.as_ref().map_or(true, |(b, _, _)| birth > *b) {
+        if newest.as_ref().is_none_or(|(b, _, _)| birth > *b) {
             newest = Some((birth, *class, node.clone()));
         }
     }

@@ -238,10 +238,12 @@ pub fn explore(
         }
 
         stats.iterations = iter + 1;
-        stats.nodes_per_iteration.push(egraph.total_number_of_nodes());
+        stats
+            .nodes_per_iteration
+            .push(egraph.total_number_of_nodes());
 
-        let changed = egraph.total_number_of_nodes() != nodes_before
-            || egraph.union_count() != unions_before;
+        let changed =
+            egraph.total_number_of_nodes() != nodes_before || egraph.union_count() != unions_before;
         if !changed {
             stats.saturated = true;
             break;
@@ -267,7 +269,9 @@ fn skip_for_cycles(
     match filter {
         CycleFilter::Off => false,
         CycleFilter::Efficient => {
-            let desc = desc.as_ref().expect("descendants map exists in efficient mode");
+            let desc = desc
+                .as_ref()
+                .expect("descendants map exists in efficient mode");
             would_create_cycle(egraph, desc, matched, target, subst)
         }
         CycleFilter::Vanilla => {
@@ -321,9 +325,7 @@ fn cartesian(
     desc: &mut Option<DescendantsMap>,
     start: Instant,
 ) {
-    if egraph.total_number_of_nodes() >= config.node_limit
-        || start.elapsed() >= config.time_limit
-    {
+    if egraph.total_number_of_nodes() >= config.node_limit || start.elapsed() >= config.time_limit {
         return;
     }
     if depth == per_src.len() {
@@ -339,7 +341,16 @@ fn cartesian(
             continue;
         }
         combo.push((*eclass, subst.clone()));
-        cartesian(egraph, mrule, per_src, depth + 1, combo, config, desc, start);
+        cartesian(
+            egraph,
+            mrule,
+            per_src,
+            depth + 1,
+            combo,
+            config,
+            desc,
+            start,
+        );
         combo.pop();
         if egraph.total_number_of_nodes() >= config.node_limit {
             return;
@@ -369,7 +380,9 @@ fn apply_combo(
             return;
         }
         let target_data = tensat_rules::pattern_data(egraph, dst, &merged);
-        let out_shape = target_data.last().and_then(|d| d.shape().map(|s| s.to_vec()));
+        let out_shape = target_data
+            .last()
+            .and_then(|d| d.shape().map(|s| s.to_vec()));
         let class_shape = egraph.eclass(*matched).data.shape().map(|s| s.to_vec());
         if let (Some(a), Some(b)) = (class_shape, out_shape) {
             if a != b {
@@ -428,7 +441,11 @@ mod tests {
     #[test]
     fn merge_substs_detects_conflicts() {
         let (eg, root) = two_matmul_graph();
-        let other = eg.classes().map(|c| c.id).find(|&c| eg.find(c) != eg.find(root)).unwrap();
+        let other = eg
+            .classes()
+            .map(|c| c.id)
+            .find(|&c| eg.find(c) != eg.find(root))
+            .unwrap();
         let mut a = Subst::new();
         a.insert(Var::new("x"), root);
         let mut b = Subst::new();
@@ -454,10 +471,13 @@ mod tests {
         let stats = explore(&mut eg, root, &[], &multi_rules(), &config);
         assert!(stats.enodes > 10);
         // The merged matmul over concatenated weights must now exist.
-        let has_concat_matmul = eg.classes().any(|c| {
-            c.iter().any(|n| matches!(n, TensorLang::Split0(_)))
-        });
-        assert!(has_concat_matmul, "expected split0 node from the multi-pattern rule");
+        let has_concat_matmul = eg
+            .classes()
+            .any(|c| c.iter().any(|n| matches!(n, TensorLang::Split0(_))));
+        assert!(
+            has_concat_matmul,
+            "expected split0 node from the multi-pattern rule"
+        );
     }
 
     #[test]
@@ -524,7 +544,13 @@ mod tests {
                 eg.total_number_of_nodes()
             })
             .collect();
-        assert!(sizes[1] > sizes[0], "k_multi=1 should grow beyond k_multi=0: {sizes:?}");
-        assert!(sizes[2] >= sizes[1], "k_multi=2 should not shrink: {sizes:?}");
+        assert!(
+            sizes[1] > sizes[0],
+            "k_multi=1 should grow beyond k_multi=0: {sizes:?}"
+        );
+        assert!(
+            sizes[2] >= sizes[1],
+            "k_multi=2 should not shrink: {sizes:?}"
+        );
     }
 }

@@ -318,7 +318,9 @@ pub fn extract_ilp(
     let mut choice: HashMap<Id, TensorLang> = HashMap::new();
     for (class, node, var) in &node_vars {
         if solution.value(*var) > 0.5 {
-            choice.entry(egraph.find(*class)).or_insert_with(|| node.clone());
+            choice
+                .entry(egraph.find(*class))
+                .or_insert_with(|| node.clone());
         }
     }
     let expr = build_selection(egraph, root, &choice)?;

@@ -165,7 +165,10 @@ impl Optimizer {
     ///
     /// Returns an [`ExtractError`] if extraction cannot produce a valid
     /// graph (e.g. the ILP is infeasible under an exhausted time budget).
-    pub fn optimize(&self, graph: &RecExpr<TensorLang>) -> Result<OptimizationResult, ExtractError> {
+    pub fn optimize(
+        &self,
+        graph: &RecExpr<TensorLang>,
+    ) -> Result<OptimizationResult, ExtractError> {
         let model = &self.config.cost_model;
         let original_cost = model.graph_cost(graph);
 

@@ -215,13 +215,9 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             .expect("non-root class must exist");
         // The absorbed class's parents may now be congruent to existing
         // nodes; queue them for repair.
-        self.pending
-            .extend(other_class.parents.iter().cloned());
+        self.pending.extend(other_class.parents.iter().cloned());
 
-        let root_class = self
-            .classes
-            .get_mut(&root)
-            .expect("root class must exist");
+        let root_class = self.classes.get_mut(&root).expect("root class must exist");
         let root_parents_snapshot: Vec<(L, Id)> = root_class.parents.clone();
 
         root_class.nodes.extend(other_class.nodes);
@@ -229,9 +225,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         root_class.parents.extend(other_class.parents.clone());
         root_class.id = root;
 
-        let did = self
-            .analysis
-            .merge(&mut root_class.data, other_class.data);
+        let did = self.analysis.merge(&mut root_class.data, other_class.data);
         // If the kept data changed, the *root's* previous parents may need
         // their data re-made; if the absorbed data changed, the absorbed
         // class's parents do.
@@ -411,7 +405,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     pub fn to_dot(&self) -> String {
         let mut s = String::from("digraph egraph {\n  compound=true;\n  rankdir=TB;\n");
         for class in self.classes.values() {
-            s.push_str(&format!("  subgraph cluster_{} {{\n    label=\"{}\";\n", class.id, class.id));
+            s.push_str(&format!(
+                "  subgraph cluster_{} {{\n    label=\"{}\";\n",
+                class.id, class.id
+            ));
             for (i, node) in class.nodes.iter().enumerate() {
                 let style = if self.filtered.contains(node) {
                     ",style=dashed"

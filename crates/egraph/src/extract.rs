@@ -91,9 +91,7 @@ pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
     best: HashMap<Id, (CF::Cost, L)>,
 }
 
-impl<L: Language, N: Analysis<L>, CF: CostFunction<L>> std::fmt::Debug
-    for Extractor<'_, L, N, CF>
-{
+impl<L: Language, N: Analysis<L>, CF: CostFunction<L>> std::fmt::Debug for Extractor<'_, L, N, CF> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Extractor")
             .field("classes_with_cost", &self.best.len())

@@ -292,9 +292,7 @@ mod tests {
 
     #[test]
     fn respects_iteration_limit() {
-        let mut runner = Runner::new(())
-            .with_expr(&start_expr())
-            .with_iter_limit(0);
+        let mut runner = Runner::new(()).with_expr(&start_expr()).with_iter_limit(0);
         let reason = runner.run(&rules());
         assert_eq!(reason, StopReason::IterationLimit(0));
         assert!(runner.iterations.is_empty());
@@ -302,9 +300,7 @@ mod tests {
 
     #[test]
     fn respects_node_limit() {
-        let mut runner = Runner::new(())
-            .with_expr(&start_expr())
-            .with_node_limit(1);
+        let mut runner = Runner::new(()).with_expr(&start_expr()).with_node_limit(1);
         let reason = runner.run(&rules());
         assert_eq!(reason, StopReason::NodeLimit(1));
     }
@@ -327,7 +323,9 @@ mod tests {
         assert!(first.applied > 0);
         assert!(first.egraph_nodes >= 4);
         assert!(first.egraph_classes >= 3);
-        assert!(runner.total_time() > Duration::from_secs(0) || true);
+        // A real run does measurable search/apply/rebuild work, so the
+        // recorded per-phase times must actually be populated.
+        assert!(runner.total_time() > Duration::ZERO);
     }
 
     #[test]

@@ -179,11 +179,7 @@ impl Problem {
 
     /// Evaluates the objective for an assignment.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(values)
-            .map(|(c, v)| c * v)
-            .sum()
+        self.objective.iter().zip(values).map(|(c, v)| c * v).sum()
     }
 
     /// Checks whether an assignment satisfies every constraint and every

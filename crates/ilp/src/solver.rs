@@ -303,9 +303,7 @@ impl<'a> Search<'a> {
     /// back to the first unfixed integral variable.
     fn pick_branch_var(&self, lo: &[f64], hi: &[f64], completion: &[f64]) -> Option<usize> {
         let tol = self.cfg.tolerance;
-        let unfixed = |i: usize| {
-            self.problem.kinds()[i].is_integral() && hi[i] - lo[i] > tol
-        };
+        let unfixed = |i: usize| self.problem.kinds()[i].is_integral() && hi[i] - lo[i] > tol;
         for c in self.problem.constraints() {
             let lhs: f64 = c.terms.iter().map(|(v, coef)| coef * completion[v.0]).sum();
             let violated = match c.cmp {
@@ -338,7 +336,10 @@ impl<'a> Search<'a> {
         // If the cheapest completion of the remaining freedom is feasible,
         // it is optimal for this subtree: record it and stop descending.
         let completion = self.cheap_completion(&lo, &hi);
-        if self.problem.is_feasible(&completion, self.cfg.tolerance * 10.0) {
+        if self
+            .problem
+            .is_feasible(&completion, self.cfg.tolerance * 10.0)
+        {
             let obj = self.problem.objective_value(&completion);
             if obj < self.best_objective - self.cfg.tolerance {
                 self.best_objective = obj;

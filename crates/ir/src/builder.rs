@@ -94,14 +94,7 @@ impl GraphBuilder {
     }
 
     /// Convolution with square stride, explicit padding and activation.
-    pub fn conv(
-        &mut self,
-        x: Id,
-        w: Id,
-        stride: (i64, i64),
-        pad: Padding,
-        act: Activation,
-    ) -> Id {
+    pub fn conv(&mut self, x: Id, w: Id, stride: (i64, i64), pad: Padding, act: Activation) -> Id {
         let sh = self.num(stride.0);
         let sw = self.num(stride.1);
         let pad = self.num(pad.code());
@@ -125,13 +118,7 @@ impl GraphBuilder {
     }
 
     /// Max pooling.
-    pub fn poolmax(
-        &mut self,
-        x: Id,
-        kernel: (i64, i64),
-        stride: (i64, i64),
-        pad: Padding,
-    ) -> Id {
+    pub fn poolmax(&mut self, x: Id, kernel: (i64, i64), stride: (i64, i64), pad: Padding) -> Id {
         let kh = self.num(kernel.0);
         let kw = self.num(kernel.1);
         let sh = self.num(stride.0);
@@ -142,13 +129,7 @@ impl GraphBuilder {
     }
 
     /// Average pooling.
-    pub fn poolavg(
-        &mut self,
-        x: Id,
-        kernel: (i64, i64),
-        stride: (i64, i64),
-        pad: Padding,
-    ) -> Id {
+    pub fn poolavg(&mut self, x: Id, kernel: (i64, i64), stride: (i64, i64), pad: Padding) -> Id {
         let kh = self.num(kernel.0);
         let kw = self.num(kernel.1);
         let sh = self.num(stride.0);
@@ -334,7 +315,9 @@ mod tests {
     #[test]
     fn concat_many_folds() {
         let mut g = GraphBuilder::new();
-        let parts: Vec<Id> = (0..7).map(|i| g.weight(&format!("w{i}"), &[16, 16])).collect();
+        let parts: Vec<Id> = (0..7)
+            .map(|i| g.weight(&format!("w{i}"), &[16, 16]))
+            .collect();
         let cat = g.concat_many(0, &parts);
         let expr = g.finish(&[cat]);
         let data = infer_recexpr(&expr);

@@ -75,9 +75,7 @@ impl CostModel {
         // Parameter leaves and graph plumbing are free.
         match node {
             L::Num(_) | L::Str(_) | L::Input(_) | L::Weight(_) | L::Noop(_) => return 0.0,
-            L::Split(_) | L::Split0(_) | L::Split1(_) | L::Reshape(_) | L::Merge(_) => {
-                return 0.0
-            }
+            L::Split(_) | L::Split0(_) | L::Split1(_) | L::Reshape(_) | L::Merge(_) => return 0.0,
             _ => {}
         }
 
@@ -96,12 +94,10 @@ impl CostModel {
         }
 
         let out_elems = out_info.elements().max(0) as f64;
-        let child_tensor = |id: Id| -> Option<f64> {
-            get(id).as_tensor().map(|t| t.elements().max(0) as f64)
-        };
-        let sum_input_elems = |ids: &[Id]| -> f64 {
-            ids.iter().filter_map(|&id| child_tensor(id)).sum()
-        };
+        let child_tensor =
+            |id: Id| -> Option<f64> { get(id).as_tensor().map(|t| t.elements().max(0) as f64) };
+        let sum_input_elems =
+            |ids: &[Id]| -> f64 { ids.iter().filter_map(|&id| child_tensor(id)).sum() };
 
         match node {
             L::Ewadd([a, b]) | L::Ewmul([a, b]) => {
@@ -115,8 +111,8 @@ impl CostModel {
             L::Matmul([act, a, b]) => {
                 let ta = get(*a);
                 let tb = get(*b);
-                let (sa, sb) = match (ta.shape(), tb.shape()) {
-                    (Some(sa), Some(sb)) => (sa.to_vec(), sb.to_vec()),
+                let sa = match (ta.shape(), tb.shape()) {
+                    (Some(sa), Some(_)) => sa.to_vec(),
                     _ => return f64::INFINITY,
                 };
                 let k = sa[sa.len() - 1] as f64;
@@ -131,7 +127,6 @@ impl CostModel {
                     0.0
                 };
                 self.roofline(flops, bytes) + fused
-                    + (sb.len() as f64) * 0.0 // keep sb used for clarity
             }
             L::Conv([_sh, _sw, _pad, act, x, w]) => {
                 let tw = get(*w);

@@ -418,8 +418,7 @@ mod tests {
             TensorLang::Noop(two),
         ];
         for node in samples {
-            let rebuilt =
-                TensorLang::from_op(node.op_name(), node.children().to_vec()).unwrap();
+            let rebuilt = TensorLang::from_op(node.op_name(), node.children().to_vec()).unwrap();
             assert!(node.matches(&rebuilt));
         }
     }

@@ -165,10 +165,9 @@ pub fn infer(node: &TensorLang, get: &dyn Fn(Id) -> TensorData) -> TensorData {
         L::Input([id]) | L::Weight([id]) => {
             let sym = ok!(string(*id));
             match decode_identifier(sym) {
-                Ok((_, shape)) => TensorData::Tensor(TensorInfo::new(
-                    shape,
-                    matches!(node, L::Weight(_)),
-                )),
+                Ok((_, shape)) => {
+                    TensorData::Tensor(TensorInfo::new(shape, matches!(node, L::Weight(_))))
+                }
                 Err(e) => TensorData::invalid(e),
             }
         }
@@ -266,8 +265,7 @@ pub fn infer(node: &TensorLang, get: &dyn Fn(Id) -> TensorData) -> TensorData {
                 Some(v) => v,
                 None => return TensorData::invalid("conv spatial size underflow"),
             };
-            let mut info =
-                TensorInfo::new(vec![n, co, oh, ow], tx.weights_only && tw.weights_only);
+            let mut info = TensorInfo::new(vec![n, co, oh, ow], tx.weights_only && tw.weights_only);
             // A concat of the weights along output channels splits the conv
             // output along its channel axis; a concat of the inputs along
             // the batch axis splits the output along the batch axis.
@@ -569,10 +567,7 @@ mod tests {
         let split = e.add(TensorLang::Split([one, cat]));
         let s0 = e.add(TensorLang::Split0([split]));
         let data = infer_recexpr(&e);
-        assert_eq!(
-            data[usize::from(cat)].shape().unwrap(),
-            &[128, 96]
-        );
+        assert_eq!(data[usize::from(cat)].shape().unwrap(), &[128, 96]);
         assert!(data[usize::from(cat)].as_tensor().unwrap().weights_only);
         assert_eq!(data[usize::from(s0)].shape().unwrap(), &[128, 64]);
         let s1 = e.add(TensorLang::Split1([split]));

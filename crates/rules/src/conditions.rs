@@ -103,8 +103,7 @@ mod tests {
         eg.rebuild();
         let find = |name: &str, shape: &[i64]| {
             let sym = tensat_ir::encode_identifier(name, shape);
-            let s = eg.lookup(&TensorLang::Str(sym)).unwrap();
-            s
+            eg.lookup(&TensorLang::Str(sym)).unwrap()
         };
         let x_id = eg
             .lookup(&TensorLang::Input([find("x", &[8, 128])]))

@@ -46,7 +46,10 @@ impl MultiPatternRule {
             dsts.len(),
             "rule {name}: sources and targets must pair up"
         );
-        assert!(srcs.len() >= 2, "rule {name}: multi-pattern rules need >= 2 patterns");
+        assert!(
+            srcs.len() >= 2,
+            "rule {name}: multi-pattern rules need >= 2 patterns"
+        );
         let srcs: Vec<Pattern<TensorLang>> = srcs
             .iter()
             .map(|s| {
@@ -171,7 +174,11 @@ mod tests {
         for r in &rules {
             assert_eq!(r.srcs.len(), r.dsts.len());
             assert!(r.srcs.len() >= 2);
-            assert!(!r.shared_variables().is_empty(), "rule {} shares no vars", r.name);
+            assert!(
+                !r.shared_variables().is_empty(),
+                "rule {} shares no vars",
+                r.name
+            );
         }
     }
 

@@ -134,9 +134,7 @@ impl Parser {
                             break;
                         }
                         Some(_) => children.push(self.parse_expr()?),
-                        None => {
-                            return Err(ParsePatternError("unexpected end of input".into()))
-                        }
+                        None => return Err(ParsePatternError("unexpected end of input".into())),
                     }
                 }
                 let node = TensorLang::from_op(&op, children).map_err(ParsePatternError)?;

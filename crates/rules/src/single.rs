@@ -23,10 +23,10 @@ pub type TensorRewrite = Rewrite<TensorLang, TensorAnalysis>;
 /// variable not bound on the left — rule definitions are static program
 /// data, so failing fast at construction is the right behaviour.
 pub fn rw(name: &str, lhs: &str, rhs: &str) -> TensorRewrite {
-    let searcher = parse_pattern(lhs)
-        .unwrap_or_else(|e| panic!("rule {name}: bad LHS pattern `{lhs}`: {e}"));
-    let applier = parse_pattern(rhs)
-        .unwrap_or_else(|e| panic!("rule {name}: bad RHS pattern `{rhs}`: {e}"));
+    let searcher =
+        parse_pattern(lhs).unwrap_or_else(|e| panic!("rule {name}: bad LHS pattern `{lhs}`: {e}"));
+    let applier =
+        parse_pattern(rhs).unwrap_or_else(|e| panic!("rule {name}: bad RHS pattern `{rhs}`: {e}"));
     Rewrite::new_conditional(name, searcher, applier.clone(), shape_check(applier))
 }
 
@@ -238,8 +238,9 @@ mod tests {
         // The fused matmul must now be represented in the root class.
         let ex = Extractor::new(&eg, AstSize);
         let (_, smallest) = ex.find_best(root).unwrap();
-        assert!(smallest.to_string().contains("matmul 1")
-            || smallest.to_string().contains("(matmul 1"));
+        assert!(
+            smallest.to_string().contains("matmul 1") || smallest.to_string().contains("(matmul 1")
+        );
         assert!(cm.graph_cost(&smallest) < original);
     }
 
@@ -268,8 +269,20 @@ mod tests {
         let x = g.input("x", &[1, 64, 28, 28]);
         let w1 = g.weight("w1", &[64, 64, 3, 3]);
         let w2 = g.weight("w2", &[64, 64, 3, 3]);
-        let c1 = g.conv(x, w1, (1, 1), tensat_ir::Padding::Same, tensat_ir::Activation::None);
-        let c2 = g.conv(x, w2, (1, 1), tensat_ir::Padding::Same, tensat_ir::Activation::None);
+        let c1 = g.conv(
+            x,
+            w1,
+            (1, 1),
+            tensat_ir::Padding::Same,
+            tensat_ir::Activation::None,
+        );
+        let c2 = g.conv(
+            x,
+            w2,
+            (1, 1),
+            tensat_ir::Padding::Same,
+            tensat_ir::Activation::None,
+        );
         let sum = g.ewadd(c1, c2);
         let expr = g.finish(&[sum]);
         let cm = CostModel::default();
@@ -278,8 +291,12 @@ mod tests {
         // Extract by actual cost: pick per-class min-cost nodes greedily.
         let ex = Extractor::new(&eg, crate::testing::GraphCost::new(cm.clone(), &eg));
         let (_, best) = ex.find_best(root).unwrap();
-        assert!(cm.graph_cost(&best) < original * 0.75,
-            "expected ≥25% improvement, got {} -> {}", original, cm.graph_cost(&best));
+        assert!(
+            cm.graph_cost(&best) < original * 0.75,
+            "expected ≥25% improvement, got {} -> {}",
+            original,
+            cm.graph_cost(&best)
+        );
     }
 
     #[test]
@@ -338,10 +355,7 @@ pub mod testing {
             model: CostModel,
             egraph: &tensat_egraph::EGraph<TensorLang, TensorAnalysis>,
         ) -> Self {
-            let class_data = egraph
-                .classes()
-                .map(|c| (c.id, c.data.clone()))
-                .collect();
+            let class_data = egraph.classes().map(|c| (c.id, c.data.clone())).collect();
             GraphCost { model, class_data }
         }
     }

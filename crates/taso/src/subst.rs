@@ -37,10 +37,7 @@ pub fn load_graph(graph: &RecExpr<TensorLang>) -> (TensorEGraph, Id) {
 
 /// Finds every applicable substitution of `rules` on `graph` (all rules, all
 /// sites, all bindings), including the rules' shape-check conditions.
-pub fn find_substitutions(
-    graph: &RecExpr<TensorLang>,
-    rules: &[TensorRewrite],
-) -> Vec<GraphMatch> {
+pub fn find_substitutions(graph: &RecExpr<TensorLang>, rules: &[TensorRewrite]) -> Vec<GraphMatch> {
     let (egraph, _) = load_graph(graph);
     let mut out = vec![];
     for (rule_index, rule) in rules.iter().enumerate() {
@@ -85,7 +82,8 @@ pub fn apply_substitution(
     let replacement = egraph.find(new_root);
     let mut out = RecExpr::default();
     let mut memo: HashMap<Id, Option<Id>> = HashMap::new();
-    let root_id = copy_with_replacement(&egraph, root, matched, replacement, &mut out, &mut memo, 0)?;
+    let root_id =
+        copy_with_replacement(&egraph, root, matched, replacement, &mut out, &mut memo, 0)?;
     let _ = root_id;
     // Reject ill-typed results (e.g. a rule applied at a site whose shapes
     // were only valid inside the e-graph union).

@@ -7,9 +7,9 @@
 //! cargo run --release --example compare_extraction
 //! ```
 
-use tensat::prelude::*;
 use tensat::core::{extract_greedy, extract_ilp, IlpConfig};
 use tensat::ir::TensorAnalysis;
+use tensat::prelude::*;
 
 fn main() {
     let scale = ModelScale::tiny();

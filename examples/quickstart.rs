@@ -29,8 +29,14 @@ fn main() {
         .optimize(&graph)
         .expect("optimization should succeed");
 
-    println!("original cost : {:8.2} µs (estimated)", result.original_cost);
-    println!("optimized cost: {:8.2} µs (estimated)", result.optimized_cost);
+    println!(
+        "original cost : {:8.2} µs (estimated)",
+        result.original_cost
+    );
+    println!(
+        "optimized cost: {:8.2} µs (estimated)",
+        result.optimized_cost
+    );
     println!("speedup       : {:8.1} %", result.speedup_percent());
     println!(
         "optimizer time: {:8.3} s ({} e-nodes, {} e-classes, {} iterations)",

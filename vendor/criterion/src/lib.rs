@@ -1,0 +1,214 @@
+//! A vendored, dependency-free subset of the [`criterion`] benchmarking API,
+//! so the workspace's benches build and run in fully offline environments
+//! where crates.io is unreachable.
+//!
+//! Only the surface the workspace uses is implemented: [`Criterion`] with
+//! [`Criterion::bench_function`] and [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — wall-clock medians over a small
+//! number of fixed-size batches, reported to stdout — but the shape of the
+//! API matches the real crate so benches can be pointed back at crates.io
+//! criterion without source changes once network access is available.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `greedy/8`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+    sample_count: u32,
+}
+
+impl Bencher {
+    fn new(sample_count: u32, iters_per_sample: u32) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample,
+            sample_count,
+        }
+    }
+
+    /// Time `routine`, running it in several batches and recording the mean
+    /// duration per iteration of each batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, not recorded.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let (lo, hi) = (
+            sorted.first().copied().unwrap_or_default(),
+            sorted.last().copied().unwrap_or_default(),
+        );
+        println!("{id:<50} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_count: u32,
+    iters_per_sample: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 10,
+            iters_per_sample: 3,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(1) as u32;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_count, self.iters_per_sample);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_count, self.criterion.iters_per_sample);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Run one benchmark in the group without an extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.sample_count, self.criterion.iters_per_sample);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finish the group (a no-op here; reports are printed eagerly).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("sum_to_100", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_and_main_macros_compile_and_run() {
+        criterion_group!(benches, tiny_bench);
+        benches();
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}
