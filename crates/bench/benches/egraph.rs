@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tensat_ir::{GraphBuilder, TensorAnalysis, TensorEGraph};
+use tensat_models::{build_benchmark, ModelScale};
 use tensat_rules::single_rules;
 
 fn build_graph(n: usize) -> tensat_egraph::RecExpr<tensat_ir::TensorLang> {
@@ -44,6 +45,53 @@ fn bench_ematching(c: &mut Criterion) {
     });
 }
 
+/// Head-to-head search micro-benchmark on real benchmark model e-graphs:
+/// the compiled, op-indexed e-matching machine ([`tensat_egraph::Pattern::search`])
+/// versus the legacy recursive matcher kept as the differential-testing
+/// oracle ([`tensat_egraph::Pattern::search_naive`]). The e-graph is grown
+/// by one exploration iteration first so classes hold multiple nodes, as
+/// they do during saturation.
+fn bench_machine_vs_naive_on_models(c: &mut Criterion) {
+    let rules = single_rules();
+    for model in ["BERT", "ResNeXt-50"] {
+        let graph = build_benchmark(model, ModelScale::tiny());
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&graph);
+        eg.rebuild();
+        tensat_core::explore(
+            &mut eg,
+            root,
+            &rules,
+            &[],
+            &tensat_core::ExplorationConfig {
+                max_iter: 1,
+                ..Default::default()
+            },
+        );
+
+        c.bench_function(&format!("ematch_machine_{model}"), |b| {
+            b.iter(|| {
+                let total: usize = rules
+                    .iter()
+                    .flat_map(|r| r.search(&eg))
+                    .map(|m| m.substs.len())
+                    .sum();
+                std::hint::black_box(total)
+            })
+        });
+        c.bench_function(&format!("ematch_naive_{model}"), |b| {
+            b.iter(|| {
+                let total: usize = rules
+                    .iter()
+                    .flat_map(|r| r.searcher.search_naive(&eg))
+                    .map(|m| m.substs.len())
+                    .sum();
+                std::hint::black_box(total)
+            })
+        });
+    }
+}
+
 fn bench_one_exploration_iteration(c: &mut Criterion) {
     let graph = build_graph(8);
     let rules = single_rules();
@@ -71,6 +119,7 @@ criterion_group!(
     benches,
     bench_add_and_rebuild,
     bench_ematching,
+    bench_machine_vs_naive_on_models,
     bench_one_exploration_iteration
 );
 criterion_main!(benches);

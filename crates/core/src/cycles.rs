@@ -181,54 +181,86 @@ pub type Cycle = Vec<(Id, TensorLang)>;
 pub fn find_cycles(egraph: &TensorEGraph, root: Id) -> Vec<Cycle> {
     #[derive(Clone, Copy, PartialEq)]
     enum Mark {
-        Unvisited,
         OnStack,
         Done,
+    }
+    /// One in-progress class visit: iterates its (unfiltered) nodes and,
+    /// per node, its children. While `node_i` points at a node, the pair
+    /// `(class, nodes[node_i])` sits on `path`.
+    struct Frame {
+        class: Id,
+        nodes: Vec<TensorLang>,
+        node_i: usize,
+        child_i: usize,
     }
     let mut marks: HashMap<Id, Mark> = HashMap::new();
     let mut cycles: Vec<Cycle> = vec![];
     // Path of (class, enode chosen at that class) currently on the DFS stack.
     let mut path: Vec<(Id, TensorLang)> = vec![];
+    // The DFS uses an explicit frame stack: its depth scales with the
+    // longest acyclic path through the e-graph, which grows past thread
+    // stack limits on saturated model e-graphs.
+    let mut stack: Vec<Frame> = vec![];
 
-    fn dfs(
-        egraph: &TensorEGraph,
-        class: Id,
-        marks: &mut HashMap<Id, Mark>,
-        path: &mut Vec<(Id, TensorLang)>,
-        cycles: &mut Vec<Cycle>,
-    ) {
-        let class = egraph.find(class);
-        match marks.get(&class).copied().unwrap_or(Mark::Unvisited) {
-            Mark::Done => return,
-            Mark::OnStack => {
+    let enter = |class: Id,
+                 marks: &mut HashMap<Id, Mark>,
+                 path: &[(Id, TensorLang)],
+                 cycles: &mut Vec<Cycle>|
+     -> Option<Frame> {
+        match marks.get(&class).copied() {
+            Some(Mark::Done) => None,
+            Some(Mark::OnStack) => {
                 // Found a cycle: everything on the path from the previous
                 // occurrence of `class` onwards.
                 if let Some(pos) = path.iter().position(|(c, _)| *c == class) {
                     cycles.push(path[pos..].to_vec());
                 }
-                return;
+                None
             }
-            Mark::Unvisited => {}
-        }
-        marks.insert(class, Mark::OnStack);
-        let nodes: Vec<TensorLang> = egraph
-            .eclass(class)
-            .iter()
-            .filter(|n| !egraph.is_filtered(n))
-            .cloned()
-            .collect();
-        for node in nodes {
-            path.push((class, node.clone()));
-            for &child in node.children() {
-                dfs(egraph, child, marks, path, cycles);
+            None => {
+                marks.insert(class, Mark::OnStack);
+                let nodes: Vec<TensorLang> = egraph
+                    .eclass(class)
+                    .iter()
+                    .filter(|n| !egraph.is_filtered(n))
+                    .cloned()
+                    .collect();
+                Some(Frame {
+                    class,
+                    nodes,
+                    node_i: 0,
+                    child_i: 0,
+                })
             }
-            path.pop();
         }
-        marks.insert(class, Mark::Done);
-    }
+    };
 
-    dfs(egraph, root, &mut marks, &mut path, &mut cycles);
-    let _ = &marks;
+    let root = egraph.find(root);
+    if let Some(frame) = enter(root, &mut marks, &path, &mut cycles) {
+        stack.push(frame);
+    }
+    while let Some(top) = stack.last_mut() {
+        if top.node_i >= top.nodes.len() {
+            marks.insert(top.class, Mark::Done);
+            stack.pop();
+            continue;
+        }
+        let node = top.nodes[top.node_i].clone();
+        if top.child_i == 0 {
+            path.push((top.class, node.clone()));
+        }
+        if top.child_i < node.children().len() {
+            let child = egraph.find(node.children()[top.child_i]);
+            top.child_i += 1;
+            if let Some(frame) = enter(child, &mut marks, &path, &mut cycles) {
+                stack.push(frame);
+            }
+        } else {
+            path.pop();
+            top.node_i += 1;
+            top.child_i = 0;
+        }
+    }
     cycles
 }
 

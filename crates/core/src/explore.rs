@@ -172,6 +172,11 @@ pub fn explore(
             }
         })
         .collect();
+    // The deduplicated canonical sources are searched once per iteration:
+    // compile their e-matching programs before the loop starts.
+    for pattern in &unique_patterns {
+        pattern.precompile();
+    }
 
     for iter in 0..config.max_iter {
         if start.elapsed() >= config.time_limit
@@ -188,10 +193,23 @@ pub fn explore(
             _ => None,
         };
 
-        // --- single-pattern rules -----------------------------------------
-        for rw in single_rules {
-            let matches = rw.search(egraph);
-            for m in &matches {
+        // --- search phase ---------------------------------------------------
+        // All matches — single-pattern and multi-pattern alike — are
+        // collected against the iteration-start e-graph, which is clean
+        // (rebuilt at the end of the previous iteration): pattern search
+        // requires a clean e-graph for the operator index and congruence
+        // invariant to hold. This mirrors Algorithm 1, which gathers every
+        // match before applying any substitution.
+        let single_matches: Vec<_> = single_rules.iter().map(|rw| rw.search(egraph)).collect();
+        let multi_matches: Vec<_> = if iter < config.k_multi {
+            unique_patterns.iter().map(|p| p.search(egraph)).collect()
+        } else {
+            vec![]
+        };
+
+        // --- apply single-pattern rules --------------------------------------
+        for (rw, matches) in single_rules.iter().zip(&single_matches) {
+            for m in matches {
                 for subst in &m.substs {
                     if egraph.total_number_of_nodes() >= config.node_limit {
                         break;
@@ -216,11 +234,10 @@ pub fn explore(
             }
         }
 
-        // --- multi-pattern rules (only for the first k_multi iterations) ---
+        // --- apply multi-pattern rules (first k_multi iterations only) ------
         if iter < config.k_multi {
-            let all_matches: Vec<_> = unique_patterns.iter().map(|p| p.search(egraph)).collect();
             for mrule in &compiled {
-                apply_multi_rule(egraph, mrule, &all_matches, config, &mut desc, start);
+                apply_multi_rule(egraph, mrule, &multi_matches, config, &mut desc, start);
                 if egraph.total_number_of_nodes() >= config.node_limit
                     || start.elapsed() >= config.time_limit
                 {

@@ -24,6 +24,11 @@ pub struct EClass<L, D> {
     /// Parent e-nodes (and the class they live in) that reference this
     /// class as a child. May contain stale entries between rebuilds.
     pub(crate) parents: Vec<(L, Id)>,
+    /// Watermark stamp of the last event that could have changed the set of
+    /// pattern matches rooted in this class: a node added here, a union
+    /// involving this class, or (after a rebuild) any such event in a
+    /// transitive child class. See [`EGraph::watermark`](crate::EGraph::watermark).
+    pub(crate) touched: u64,
 }
 
 impl<L: Language, D> EClass<L, D> {
@@ -56,5 +61,13 @@ impl<L: Language, D> EClass<L, D> {
     /// rebuilds). Exposed for diagnostics only.
     pub fn parents(&self) -> impl Iterator<Item = (&L, Id)> {
         self.parents.iter().map(|(n, id)| (n, *id))
+    }
+
+    /// The watermark stamp of the last event that could have changed the
+    /// matches rooted in this class. Compare against a snapshot of
+    /// [`EGraph::watermark`](crate::EGraph::watermark) to skip classes in
+    /// incremental search.
+    pub fn last_touched(&self) -> u64 {
+        self.touched
     }
 }

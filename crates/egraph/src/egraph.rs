@@ -4,6 +4,7 @@
 use crate::{Analysis, EClass, Id, Language, RecExpr, UnionFind};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::mem::Discriminant;
 
 /// An e-graph: a set of e-classes, each a set of equivalent e-nodes, with
 /// hash-consing (structural sharing) and incremental congruence closure.
@@ -51,12 +52,29 @@ pub struct EGraph<L: Language, N: Analysis<L>> {
     /// E-nodes considered removed (TENSAT cycle filter list). Keys are kept
     /// canonical with respect to the current union-find.
     filtered: HashSet<L>,
-    /// Global insertion counter used to stamp e-node births.
+    /// Global insertion counter used to stamp e-node births and class
+    /// touches.
     ticker: u64,
     /// Whether the congruence invariant currently holds.
     clean: bool,
     /// Number of successful (non-trivial) unions performed since creation.
     union_count: usize,
+    /// Total e-nodes across all classes, maintained incrementally so limit
+    /// checks in hot loops are O(1).
+    num_nodes: usize,
+    /// Operator index: maps an operator discriminant to the sorted, canonical
+    /// ids of the classes containing at least one node with that operator
+    /// (filtered nodes included — the matcher re-checks the filter set).
+    /// Rebuilt by [`EGraph::rebuild`]; only valid while the e-graph is clean.
+    op_index: HashMap<Discriminant<L>, Vec<Id>>,
+    /// Value of `ticker` at the end of the last rebuild; touch propagation
+    /// seeds from classes touched since then.
+    last_rebuild_ticker: u64,
+    /// Whether any caller has taken a watermark ([`EGraph::watermark`]).
+    /// Per-class touch *stamping* is always on (O(1) field writes), but the
+    /// rebuild-time propagation to transitive parents — an extra pass over
+    /// the parent edges — only runs once incremental search is in use.
+    touch_tracking: bool,
 }
 
 impl<L: Language, N: Analysis<L>> EGraph<L, N> {
@@ -73,6 +91,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             ticker: 0,
             clean: true,
             union_count: 0,
+            num_nodes: 0,
+            op_index: HashMap::new(),
+            last_rebuild_ticker: 0,
+            touch_tracking: false,
         }
     }
 
@@ -87,9 +109,10 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// The total number of e-nodes across all classes (including filtered
-    /// nodes; see [`EGraph::num_unfiltered_nodes`]).
+    /// nodes; see [`EGraph::num_unfiltered_nodes`]). O(1): the count is
+    /// maintained incrementally so it can be polled inside apply loops.
     pub fn total_number_of_nodes(&self) -> usize {
-        self.classes.values().map(|c| c.nodes.len()).sum()
+        self.num_nodes
     }
 
     /// The number of e-nodes not in the filter set.
@@ -164,9 +187,19 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             node_birth: vec![birth],
             data,
             parents: vec![],
+            touched: birth,
         };
         self.classes.insert(id, class);
+        // Keep the operator index live across adds: plain adds preserve
+        // cleanliness (no congruence repair is pending), so searches between
+        // adds are legal and must see the new class. Fresh ids are strictly
+        // increasing, so pushing keeps each bucket sorted.
+        self.op_index
+            .entry(enode.discriminant())
+            .or_default()
+            .push(id);
         self.memo.insert(enode, id);
+        self.num_nodes += 1;
         N::modify(self, id);
         id
     }
@@ -224,6 +257,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         root_class.node_birth.extend(other_class.node_birth);
         root_class.parents.extend(other_class.parents.clone());
         root_class.id = root;
+        root_class.touched = root_class.touched.max(other_class.touched).max(self.ticker);
+        self.ticker += 1;
 
         let did = self.analysis.merge(&mut root_class.data, other_class.data);
         // If the kept data changed, the *root's* previous parents may need
@@ -277,8 +312,74 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             }
         }
         self.finalize_classes();
+        self.propagate_touches();
         self.clean = true;
         repairs
+    }
+
+    /// Propagates touch stamps to transitive parents: a class whose (direct
+    /// or indirect) child gained nodes or was merged can root *new* pattern
+    /// matches even though its own node list is unchanged, so incremental
+    /// search must revisit it. Runs after [`EGraph::finalize_classes`], when
+    /// parent lists are canonical. The parent-edge pass is skipped until a
+    /// watermark has been taken — non-incremental users pay nothing; the
+    /// seed window below only grows while skipped, so the first tracked
+    /// rebuild conservatively covers the gap.
+    fn propagate_touches(&mut self) {
+        if self.touch_tracking {
+            let since = self.last_rebuild_ticker;
+            let stamp = self.ticker;
+            let queue: Vec<Id> = self
+                .classes
+                .iter()
+                .filter(|(_, c)| c.touched >= since)
+                .map(|(&id, _)| id)
+                .collect();
+            self.propagate_stamp(queue, stamp);
+            // Consume the stamp so a watermark taken after this rebuild is
+            // strictly greater than every touch recorded so far.
+            self.ticker = stamp + 1;
+            self.last_rebuild_ticker = self.ticker;
+        }
+    }
+
+    /// BFS from `queue` through parent edges, stamping every reached class
+    /// with `stamp`. Requires canonical parent lists (a clean e-graph, or
+    /// right after [`EGraph::finalize_classes`]).
+    fn propagate_stamp(&mut self, mut queue: Vec<Id>, stamp: u64) {
+        while let Some(id) = queue.pop() {
+            let parents: Vec<Id> = self.classes[&id].parents.iter().map(|&(_, p)| p).collect();
+            for p in parents {
+                let parent = self.classes.get_mut(&p).expect("parent class must exist");
+                if parent.touched < stamp {
+                    parent.touched = stamp;
+                    queue.push(p);
+                }
+            }
+        }
+    }
+
+    /// The current watermark: a stamp strictly greater than every e-node
+    /// birth and class touch recorded so far. Snapshot it on a *clean*
+    /// e-graph, mutate and [`EGraph::rebuild`], and pass the snapshot to
+    /// [`crate::Pattern::search_since`] to restrict matching to classes
+    /// whose match set may have changed.
+    ///
+    /// Taking a watermark enables rebuild-time touch propagation (hence
+    /// `&mut self`): events from this point on are propagated to transitive
+    /// parent classes, which is what makes `search_since` honest.
+    pub fn watermark(&mut self) -> u64 {
+        self.touch_tracking = true;
+        self.ticker
+    }
+
+    /// The canonical ids of the classes containing at least one e-node with
+    /// the given operator discriminant (see [`Language::discriminant`]), in
+    /// ascending id order. Only meaningful on a clean e-graph: the index is
+    /// rebuilt by [`EGraph::rebuild`]. Filtered nodes are indexed too — the
+    /// index over-approximates, callers must still check the filter set.
+    pub fn classes_with_op(&self, op: Discriminant<L>) -> &[Id] {
+        self.op_index.get(&op).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Canonicalizes and deduplicates every class's node list, rebuilds the
@@ -331,6 +432,22 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             .into_iter()
             .map(|n| n.map_children(|c| self.unionfind.find_mut(c)))
             .collect();
+        // Recount nodes (dedup above may have dropped some) and rebuild the
+        // operator index over the now-canonical classes. Iterating the
+        // BTreeMap in key order keeps every index bucket sorted by id.
+        self.num_nodes = 0;
+        self.op_index.clear();
+        for (&id, class) in &self.classes {
+            self.num_nodes += class.nodes.len();
+            let mut seen_ops: Vec<Discriminant<L>> = Vec::new();
+            for node in &class.nodes {
+                let op = node.discriminant();
+                if !seen_ops.contains(&op) {
+                    seen_ops.push(op);
+                    self.op_index.entry(op).or_default().push(id);
+                }
+            }
+        }
     }
 
     /// Marks an e-node as filtered (treated as removed). The node is
@@ -343,6 +460,11 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// True if the e-node is in the filter set.
     pub fn is_filtered(&self, enode: &L) -> bool {
+        // The common path has no filtered nodes at all; skip the node clone
+        // and child canonicalization that the set probe would need.
+        if self.filtered.is_empty() {
+            return false;
+        }
         let node = self.canonicalize(enode);
         self.filtered.contains(&node)
     }
@@ -353,8 +475,31 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// Clears the filter set.
+    ///
+    /// Re-enabling nodes creates pattern matches that did not exist before,
+    /// so the owning classes (and, on a clean e-graph, their transitive
+    /// parents) are stamped as touched — watermark-restricted searches
+    /// ([`crate::Pattern::search_since`]) will revisit them.
     pub fn clear_filtered(&mut self) {
-        self.filtered.clear();
+        let filtered = std::mem::take(&mut self.filtered);
+        let stamp = self.ticker;
+        self.ticker += 1;
+        let mut seeds = vec![];
+        for node in &filtered {
+            if let Some(id) = self.lookup(node) {
+                let class = self.classes.get_mut(&id).expect("class must exist");
+                if class.touched < stamp {
+                    class.touched = stamp;
+                    seeds.push(id);
+                }
+            }
+        }
+        if self.clean && self.touch_tracking {
+            self.propagate_stamp(seeds, stamp);
+        }
+        // On a dirty e-graph the parents are stale; the seeds' stamps are
+        // >= last_rebuild_ticker, so the next rebuild's touch propagation
+        // reaches the ancestors instead.
     }
 
     /// The birth stamp (global insertion counter) of an e-node, if present.
@@ -590,6 +735,120 @@ mod tests {
         eg.union(b, c);
         eg.union(a, c);
         assert_eq!(eg.union_count(), 2);
+    }
+
+    #[test]
+    fn op_index_tracks_classes_per_operator() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let m1 = eg.add(Math::Mul([a, two]));
+        let m2 = eg.add(Math::Mul([two, a]));
+        eg.rebuild();
+        let mul_key = Math::Mul([a, a]).discriminant();
+        let ids = eg.classes_with_op(mul_key);
+        assert_eq!(ids, &[eg.find(m1), eg.find(m2)]);
+        // Add is absent entirely.
+        assert!(eg
+            .classes_with_op(Math::Add([a, a]).discriminant())
+            .is_empty());
+        // Merging the two Mul classes shrinks the bucket after rebuild.
+        eg.union(m1, m2);
+        eg.rebuild();
+        assert_eq!(eg.classes_with_op(mul_key).len(), 1);
+        // Num and Sym share no bucket even though both are leaves.
+        assert_eq!(eg.classes_with_op(Math::Num(0).discriminant()), &[two]);
+        assert_eq!(eg.classes_with_op(sym("zz").discriminant()), &[a]);
+    }
+
+    /// Plain adds keep the e-graph clean, so searching between adds is
+    /// legal — the operator index must cover classes created since the last
+    /// rebuild or the machine searcher silently misses their matches.
+    #[test]
+    fn op_index_covers_adds_since_last_rebuild() {
+        use crate::{ENodeOrVar, Pattern, RecExpr, Var};
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        eg.rebuild();
+        // Added after the rebuild; no unions, so the e-graph stays clean.
+        let mul = eg.add(Math::Mul([a, two]));
+        assert!(eg.is_clean());
+
+        let mut ast = RecExpr::default();
+        let x = ast.add(ENodeOrVar::Var(Var::new("x")));
+        let two_p = ast.add(ENodeOrVar::ENode(Math::Num(2)));
+        ast.add(ENodeOrVar::ENode(Math::Mul([x, two_p])));
+        let pat = Pattern::new(ast);
+        let ms = pat.search(&eg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].eclass, eg.find(mul));
+        assert_eq!(ms.len(), pat.search_naive(&eg).len());
+    }
+
+    /// `clear_filtered` re-enables nodes, creating matches that did not
+    /// exist before; the owning classes and their ancestors must count as
+    /// touched so watermark-restricted searches revisit them.
+    #[test]
+    fn clear_filtered_touches_owning_classes_and_ancestors() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        let outer = eg.add(Math::Add([mul, two]));
+        eg.rebuild();
+        eg.filter_node(&Math::Mul([a, two]));
+        let w = eg.watermark();
+        eg.clear_filtered();
+        assert!(eg.eclass(mul).last_touched() >= w);
+        assert!(
+            eg.eclass(outer).last_touched() >= w,
+            "ancestors must be stamped"
+        );
+        assert!(eg.eclass(a).last_touched() < w, "children are unaffected");
+    }
+
+    #[test]
+    fn node_count_stays_consistent_across_rebuilds() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let two = eg.add(Math::Num(2));
+        eg.add(Math::Mul([a, two]));
+        eg.add(Math::Mul([b, two]));
+        let recount = |eg: &EGraph<Math, ()>| -> usize { eg.classes().map(|c| c.len()).sum() };
+        assert_eq!(eg.total_number_of_nodes(), recount(&eg));
+        // a == b makes the two Mul nodes congruent: the count must reflect
+        // the dedup done during rebuild.
+        eg.union(a, b);
+        assert_eq!(eg.total_number_of_nodes(), recount(&eg));
+        eg.rebuild();
+        // a, b, 2, and the single surviving Mul node (the two Mul nodes
+        // became congruent and were deduplicated by the rebuild).
+        assert_eq!(eg.total_number_of_nodes(), 4);
+        assert_eq!(eg.total_number_of_nodes(), recount(&eg));
+    }
+
+    #[test]
+    fn watermark_and_touch_propagation() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        let outer = eg.add(Math::Add([mul, two]));
+        eg.rebuild();
+        let w = eg.watermark();
+        // Nothing is touched at or after a fresh watermark.
+        assert!(eg.classes().all(|c| c.last_touched() < w));
+        // Touch the leaf `a`: its transitive parents (mul, outer) must be
+        // stamped by the rebuild, the unrelated literal must not.
+        let b = eg.add(sym("b"));
+        eg.union(a, b);
+        eg.rebuild();
+        assert!(eg.eclass(a).last_touched() >= w);
+        assert!(eg.eclass(mul).last_touched() >= w);
+        assert!(eg.eclass(outer).last_touched() >= w);
+        assert!(eg.eclass(two).last_touched() < w);
     }
 
     #[test]

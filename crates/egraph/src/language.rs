@@ -109,7 +109,29 @@ impl<S: AsRef<str>> From<S> for Symbol {
 pub trait Language: Debug + Clone + Eq + Ord + Hash {
     /// True if `self` and `other` have the same operator (and therefore the
     /// same arity), ignoring the children ids.
+    ///
+    /// `matches` must be at least as strict as "same enum variant": two
+    /// nodes with different [`Language::discriminant`]s must never match.
+    /// (The e-graph's operator index and the compiled e-matching machine
+    /// rely on this to prune candidate classes without losing matches.)
     fn matches(&self, other: &Self) -> bool;
+
+    /// A coarse operator key used by the e-graph's operator index
+    /// ([`crate::EGraph::classes_with_op`]) to restrict pattern search to
+    /// classes that contain at least one node with the same key as the
+    /// pattern root.
+    ///
+    /// The default implementation uses the enum discriminant, which is
+    /// correct for any enum-shaped language: it may be *coarser* than
+    /// [`Language::matches`] (e.g. all integer literals share a
+    /// discriminant) — the matcher re-checks `matches` on every candidate
+    /// node — but must never be *finer*.
+    fn discriminant(&self) -> std::mem::Discriminant<Self>
+    where
+        Self: Sized,
+    {
+        std::mem::discriminant(self)
+    }
 
     /// The ordered children of this node.
     fn children(&self) -> &[Id];

@@ -17,7 +17,12 @@
 //!   rebuilding, e-class analyses, and a *filter set* used by TENSAT's cycle
 //!   filtering.
 //! * [`Pattern`] / [`Rewrite`] — e-matching with non-linear patterns and
-//!   conditional rewrites.
+//!   conditional rewrites. Patterns are compiled once into an abstract
+//!   e-matching machine ([`Program`], de Moura & Bjørner-style) and searched
+//!   through an operator index, with optional watermark-based incremental
+//!   search ([`Pattern::search_since`]); the legacy recursive matcher
+//!   remains available as a differential-testing oracle
+//!   ([`Pattern::search_naive`]).
 //! * [`Runner`] — equality saturation with iteration / node / time limits
 //!   and saturation detection.
 //! * [`Extractor`] — greedy extraction with a pluggable [`CostFunction`].
@@ -48,6 +53,7 @@ mod eclass;
 mod egraph;
 mod extract;
 mod language;
+mod machine;
 mod pattern;
 mod recexpr;
 mod rewrite;
@@ -59,6 +65,7 @@ pub use eclass::EClass;
 pub use egraph::EGraph;
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use language::{Id, Language, Symbol};
+pub use machine::{Instruction, Program, Reg};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use recexpr::RecExpr;
 pub use rewrite::{Condition, Rewrite};

@@ -1,0 +1,496 @@
+//! A compiled e-matching abstract machine (de Moura & Bjørner 2007, as in
+//! egg): each [`Pattern`](crate::Pattern) is compiled once into a linear
+//! instruction [`Program`] that is executed against candidate e-classes
+//! with a single reusable register stack, instead of recursively cloning
+//! per-branch substitution vectors.
+//!
+//! Three instructions suffice:
+//!
+//! * [`Instruction::Bind`] — enumerate the e-nodes of the class in register
+//!   `i` whose operator matches the pattern node, writing each node's
+//!   (canonicalized) children into registers `out..`; the machine
+//!   backtracks over the alternatives.
+//! * [`Instruction::Compare`] — require two registers to hold the same
+//!   e-class (non-linear patterns such as `(+ ?x ?x)`).
+//! * [`Instruction::Lookup`] — match a variable-free subterm in O(term)
+//!   hash-cons lookups instead of enumerating class nodes; on a congruent
+//!   e-graph a ground term has exactly one realization, which is also
+//!   checked against the filter set node by node.
+//!
+//! Search additionally consults the e-graph's operator index
+//! ([`EGraph::classes_with_op`]): only classes containing at least one node
+//! with the same operator discriminant as the pattern root are visited.
+
+use crate::{Analysis, EGraph, ENodeOrVar, Id, Language, RecExpr, SearchMatches, Subst, Var};
+use std::collections::{HashMap, VecDeque};
+use std::mem::Discriminant;
+
+/// A virtual register holding an e-class id during matching.
+pub type Reg = usize;
+
+/// One step of a compiled pattern program.
+#[derive(Debug, Clone)]
+pub enum Instruction<L> {
+    /// Try every e-node of the class in register `i` that matches `node`
+    /// (and is not filtered); write its children into `out..out+arity`.
+    Bind {
+        /// The pattern node to match (children ids are pattern-internal and
+        /// ignored; only the operator matters).
+        node: L,
+        /// Register holding the class to search.
+        i: Reg,
+        /// First output register for the matched node's children.
+        out: Reg,
+    },
+    /// Fail unless registers `i` and `j` hold the same e-class.
+    Compare {
+        /// First register.
+        i: Reg,
+        /// Second register.
+        j: Reg,
+    },
+    /// Fail unless the ground (variable-free) term is represented,
+    /// unfiltered, and lives in the class held by register `i`.
+    Lookup {
+        /// The ground term, children-first.
+        term: RecExpr<L>,
+        /// Register the term's class must equal.
+        i: Reg,
+    },
+}
+
+/// A pattern compiled to a linear instruction sequence.
+///
+/// Obtained from [`Pattern::program`](crate::Pattern::program) (which
+/// compiles lazily and caches) or directly via [`Program::compile`].
+#[derive(Debug, Clone)]
+pub struct Program<L> {
+    instructions: Vec<Instruction<L>>,
+    /// `(variable, register)` pairs in first-occurrence (AST) order; read
+    /// out at every successful match to build the substitution.
+    subst_template: Vec<(Var, Reg)>,
+    /// Operator discriminant of the pattern root, if the root is a concrete
+    /// node — used to restrict search via the e-graph's operator index.
+    root_op: Option<Discriminant<L>>,
+}
+
+impl<L: Language> Program<L> {
+    /// Compiles a pattern AST into an instruction program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn compile(pattern: &RecExpr<ENodeOrVar<L>>) -> Self {
+        assert!(!pattern.is_empty(), "cannot compile an empty pattern");
+        let root = pattern.root();
+
+        // A pattern node is ground if its subtree contains no variables
+        // (children precede parents in a RecExpr, so one pass suffices).
+        let mut ground = vec![false; pattern.len()];
+        for (id, node) in pattern.iter() {
+            ground[usize::from(id)] = match node {
+                ENodeOrVar::Var(_) => false,
+                ENodeOrVar::ENode(n) => n.children().iter().all(|&c| ground[usize::from(c)]),
+            };
+        }
+
+        let mut instructions = vec![];
+        let mut v2r: HashMap<Var, Reg> = HashMap::new();
+        let mut todo: VecDeque<(Reg, Id)> = VecDeque::from([(0, root)]);
+        let mut next_reg: Reg = 1;
+        while let Some((reg, pat_id)) = todo.pop_front() {
+            match &pattern[pat_id] {
+                ENodeOrVar::Var(v) => match v2r.get(v) {
+                    Some(&bound) => instructions.push(Instruction::Compare { i: bound, j: reg }),
+                    None => {
+                        v2r.insert(*v, reg);
+                    }
+                },
+                ENodeOrVar::ENode(node) => {
+                    // Ground subterms become O(term)-time hash-cons lookups.
+                    // The root stays a Bind so per-candidate work in the
+                    // search loop does not repeat a whole-term lookup.
+                    if ground[usize::from(pat_id)] && pat_id != root {
+                        instructions.push(Instruction::Lookup {
+                            term: ground_term(pattern, pat_id),
+                            i: reg,
+                        });
+                    } else {
+                        let out = next_reg;
+                        next_reg += node.children().len();
+                        instructions.push(Instruction::Bind {
+                            node: node.clone(),
+                            i: reg,
+                            out,
+                        });
+                        for (k, &child) in node.children().iter().enumerate() {
+                            todo.push_back((out + k, child));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Substitution template in AST first-occurrence order. (For the
+        // usual bottom-up-built patterns this coincides with the recursive
+        // matcher's DFS binding order, but not for every AST layout —
+        // comparisons across matchers must normalize binding order.)
+        // Variables that only occur in AST nodes unreachable from the root
+        // never got a register (the recursive matcher never binds them
+        // either).
+        let mut subst_template = vec![];
+        for (_, node) in pattern.iter() {
+            if let ENodeOrVar::Var(v) = node {
+                if let Some(&reg) = v2r.get(v) {
+                    if !subst_template.iter().any(|(u, _)| u == v) {
+                        subst_template.push((*v, reg));
+                    }
+                }
+            }
+        }
+
+        let root_op = match &pattern[root] {
+            ENodeOrVar::ENode(n) => Some(n.discriminant()),
+            ENodeOrVar::Var(_) => None,
+        };
+
+        Program {
+            instructions,
+            subst_template,
+            root_op,
+        }
+    }
+
+    /// The compiled instruction sequence.
+    pub fn instructions(&self) -> &[Instruction<L>] {
+        &self.instructions
+    }
+
+    /// The operator discriminant of the pattern root, if it is a concrete
+    /// node (used as the operator-index key).
+    pub fn root_op(&self) -> Option<Discriminant<L>> {
+        self.root_op
+    }
+
+    /// Searches the whole e-graph, visiting only classes the operator index
+    /// deems candidates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the e-graph is clean: searching a dirty e-graph
+    /// silently returns stale or incomplete matches.
+    pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        self.search_since(egraph, 0)
+    }
+
+    /// Like [`Program::search`], but skips classes untouched since the
+    /// given watermark (a snapshot of [`EGraph::watermark`]).
+    pub fn search_since<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        watermark: u64,
+    ) -> Vec<SearchMatches> {
+        debug_assert!(
+            egraph.is_clean(),
+            "pattern search on a dirty e-graph returns stale matches; call rebuild() first"
+        );
+        let mut machine = Machine::default();
+        let lookups = machine_lookups(egraph, &self.instructions);
+        let mut out = vec![];
+        match self.root_op {
+            Some(op) => {
+                for &id in egraph.classes_with_op(op) {
+                    if egraph.eclass(id).last_touched() < watermark {
+                        continue;
+                    }
+                    if let Some(m) = self.search_class(egraph, &mut machine, &lookups, id) {
+                        out.push(m);
+                    }
+                }
+            }
+            None => {
+                for class in egraph.classes() {
+                    if class.last_touched() < watermark {
+                        continue;
+                    }
+                    if let Some(m) = self.search_class(egraph, &mut machine, &lookups, class.id) {
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Searches a single e-class.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the e-graph is clean (see [`Program::search`]).
+    pub fn search_eclass<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        debug_assert!(
+            egraph.is_clean(),
+            "pattern search on a dirty e-graph returns stale matches; call rebuild() first"
+        );
+        let mut machine = Machine::default();
+        let lookups = machine_lookups(egraph, &self.instructions);
+        self.search_class(egraph, &mut machine, &lookups, egraph.find(eclass))
+    }
+
+    fn search_class<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        machine: &mut Machine,
+        lookups: &[Option<Id>],
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        machine.regs.clear();
+        machine.regs.push(eclass);
+        let mut substs = vec![];
+        machine.run(
+            egraph,
+            &self.instructions,
+            0,
+            lookups,
+            &self.subst_template,
+            &mut substs,
+        );
+        // Distinct derivations can in principle yield the same binding;
+        // sort before dedup so non-adjacent duplicates are removed too.
+        substs.sort_unstable();
+        substs.dedup();
+        (!substs.is_empty()).then_some(SearchMatches { eclass, substs })
+    }
+}
+
+/// Resolves every `Lookup` instruction's ground term to its e-class once
+/// per (e-graph, program) pair: the class is a constant for the whole
+/// search, so per-visit work reduces to one register compare. `None` marks
+/// a term that is absent or filtered — the instruction always fails.
+fn machine_lookups<L: Language, N: Analysis<L>>(
+    egraph: &EGraph<L, N>,
+    instructions: &[Instruction<L>],
+) -> Vec<Option<Id>> {
+    instructions
+        .iter()
+        .map(|instruction| match instruction {
+            Instruction::Lookup { term, .. } => {
+                let mut ids: Vec<Id> = Vec::with_capacity(term.len());
+                for (_, node) in term.iter() {
+                    let node = node.map_children(|c| ids[usize::from(c)]);
+                    // Every node of the (unique) realization must exist and
+                    // be unfiltered, exactly as the naive matcher requires.
+                    if egraph.is_filtered(&node) {
+                        return None;
+                    }
+                    match egraph.lookup(&node) {
+                        Some(found) => ids.push(found),
+                        None => return None,
+                    }
+                }
+                ids.last().copied()
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Builds the standalone `RecExpr` of a ground pattern subtree.
+fn ground_term<L: Language>(pattern: &RecExpr<ENodeOrVar<L>>, id: Id) -> RecExpr<L> {
+    fn go<L: Language>(
+        pattern: &RecExpr<ENodeOrVar<L>>,
+        id: Id,
+        out: &mut RecExpr<L>,
+        memo: &mut HashMap<Id, Id>,
+    ) -> Id {
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        let node = match &pattern[id] {
+            ENodeOrVar::ENode(n) => n.map_children(|c| go(pattern, c, out, memo)),
+            ENodeOrVar::Var(v) => unreachable!("ground subterm contains variable {v}"),
+        };
+        let added = out.add(node);
+        memo.insert(id, added);
+        added
+    }
+    let mut out = RecExpr::default();
+    go(pattern, id, &mut out, &mut HashMap::new());
+    out
+}
+
+/// The register stack. One instance is reused across all candidate classes
+/// of a search; backtracking truncates instead of cloning.
+#[derive(Debug, Default)]
+struct Machine {
+    regs: Vec<Id>,
+}
+
+impl Machine {
+    fn run<L: Language, N: Analysis<L>>(
+        &mut self,
+        egraph: &EGraph<L, N>,
+        instructions: &[Instruction<L>],
+        pc: usize,
+        lookups: &[Option<Id>],
+        subst_template: &[(Var, Reg)],
+        out: &mut Vec<Subst>,
+    ) {
+        for pc in pc..instructions.len() {
+            match &instructions[pc] {
+                Instruction::Bind { node, i, out: reg } => {
+                    let class = egraph.eclass(self.regs[*i]);
+                    for enode in class.iter() {
+                        if !node.matches(enode) || egraph.is_filtered(enode) {
+                            continue;
+                        }
+                        self.regs.truncate(*reg);
+                        for &child in enode.children() {
+                            self.regs.push(egraph.find(child));
+                        }
+                        self.run(egraph, instructions, pc + 1, lookups, subst_template, out);
+                    }
+                    return;
+                }
+                Instruction::Compare { i, j } => {
+                    if egraph.find(self.regs[*i]) != egraph.find(self.regs[*j]) {
+                        return;
+                    }
+                }
+                Instruction::Lookup { term: _, i } => {
+                    // The term's class was resolved once for this search
+                    // (absent/filtered terms resolve to None: always fail).
+                    if lookups[pc] != Some(egraph.find(self.regs[*i])) {
+                        return;
+                    }
+                }
+            }
+        }
+        // All instructions passed: read the bindings out of the registers.
+        let mut subst = Subst::new();
+        for &(v, r) in subst_template {
+            subst.insert(v, egraph.find(self.regs[r]));
+        }
+        out.push(subst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::test_lang::Math;
+    use crate::{Pattern, Symbol};
+
+    fn sym(s: &str) -> Math {
+        Math::Sym(Symbol::new(s))
+    }
+
+    fn pat(build: impl FnOnce(&mut RecExpr<ENodeOrVar<Math>>)) -> Pattern<Math> {
+        let mut ast = RecExpr::default();
+        build(&mut ast);
+        Pattern::new(ast)
+    }
+
+    /// (* ?x 2)
+    fn mul_by_two() -> Pattern<Math> {
+        pat(|p| {
+            let x = p.add(ENodeOrVar::Var(Var::new("x")));
+            let two = p.add(ENodeOrVar::ENode(Math::Num(2)));
+            p.add(ENodeOrVar::ENode(Math::Mul([x, two])));
+        })
+    }
+
+    #[test]
+    fn compiles_ground_subterm_to_lookup() {
+        let program = Program::compile(&mul_by_two().ast);
+        let instrs = program.instructions();
+        // Root bind + ground lookup for the literal 2; ?x binds a register
+        // without emitting an instruction.
+        assert_eq!(instrs.len(), 2);
+        assert!(matches!(instrs[0], Instruction::Bind { .. }));
+        assert!(matches!(instrs[1], Instruction::Lookup { .. }));
+        assert!(program.root_op().is_some());
+    }
+
+    #[test]
+    fn nonlinear_pattern_compiles_compare() {
+        let program = Program::compile(
+            &pat(|p| {
+                let x1 = p.add(ENodeOrVar::Var(Var::new("x")));
+                let x2 = p.add(ENodeOrVar::Var(Var::new("x")));
+                p.add(ENodeOrVar::ENode(Math::Add([x1, x2])));
+            })
+            .ast,
+        );
+        assert!(program
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Compare { .. })));
+    }
+
+    #[test]
+    fn var_root_has_no_root_op_and_matches_everything() {
+        let program = Program::compile(
+            &pat(|p| {
+                p.add(ENodeOrVar::Var(Var::new("x")));
+            })
+            .ast,
+        );
+        assert!(program.root_op().is_none());
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        eg.add(Math::Mul([eg.find(two), two]));
+        eg.rebuild();
+        assert_eq!(program.search(&eg).len(), eg.number_of_classes());
+    }
+
+    #[test]
+    fn machine_search_agrees_with_naive_on_basics() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        eg.add(Math::Mul([mul, two]));
+        eg.rebuild();
+        let p = mul_by_two();
+        let machine = p.program().search(&eg);
+        let naive = p.search_naive(&eg);
+        assert_eq!(machine.len(), naive.len());
+        for (m, n) in machine.iter().zip(&naive) {
+            assert_eq!(m.eclass, n.eclass);
+            assert_eq!(m.substs, n.substs);
+        }
+    }
+
+    #[test]
+    fn lookup_respects_filtered_ground_nodes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        eg.add(Math::Mul([a, two]));
+        eg.rebuild();
+        let p = mul_by_two();
+        assert_eq!(p.program().search(&eg).len(), 1);
+        // Filtering the literal 2 kills the ground lookup, exactly like the
+        // naive matcher skipping the filtered node.
+        eg.filter_node(&Math::Num(2));
+        assert_eq!(p.program().search(&eg).len(), 0);
+        assert_eq!(p.search_naive(&eg).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty")]
+    fn machine_search_asserts_clean() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        eg.union(a, b);
+        let p = mul_by_two();
+        let _ = p.program().search(&eg);
+    }
+}

@@ -1,8 +1,10 @@
 //! Patterns over a [`Language`]: terms with variables, searched for in an
 //! e-graph (e-matching) and instantiated to apply rewrites.
 
+use crate::machine::Program;
 use crate::{Analysis, EGraph, Id, Language, RecExpr, Symbol};
 use std::fmt::{self, Display};
+use std::sync::OnceLock;
 
 /// A pattern variable, written `?name` in the textual form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -63,7 +65,10 @@ impl<L: Language> Language for ENodeOrVar<L> {
 
 /// A variable binding produced by a successful match: maps pattern
 /// variables to e-class ids.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The `Ord` instance (lexicographic over the binding list) exists so match
+/// lists can be sorted before deduplication; it is not otherwise meaningful.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Subst {
     vec: Vec<(Var, Id)>,
 }
@@ -152,11 +157,22 @@ pub struct SearchMatches {
 /// assert_eq!(matches[0].eclass, eg.find(root));
 /// assert_eq!(matches[0].substs[0][Var::new("x")], eg.find(a));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pattern<L> {
     /// The pattern term; the root is the last node.
     pub ast: RecExpr<ENodeOrVar<L>>,
+    /// The compiled e-matching program, built lazily on first search and
+    /// cached for the lifetime of the pattern (clones inherit the cache).
+    program: OnceLock<Program<L>>,
 }
+
+impl<L: Language> PartialEq for Pattern<L> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ast == other.ast
+    }
+}
+
+impl<L: Language> Eq for Pattern<L> {}
 
 impl<L: Language> Pattern<L> {
     /// Creates a pattern from its AST.
@@ -166,7 +182,22 @@ impl<L: Language> Pattern<L> {
     /// Panics if the AST is empty.
     pub fn new(ast: RecExpr<ENodeOrVar<L>>) -> Self {
         assert!(!ast.is_empty(), "empty pattern");
-        Pattern { ast }
+        Pattern {
+            ast,
+            program: OnceLock::new(),
+        }
+    }
+
+    /// The compiled e-matching program for this pattern, compiling it on
+    /// first use and caching the result.
+    pub fn program(&self) -> &Program<L> {
+        self.program.get_or_init(|| Program::compile(&self.ast))
+    }
+
+    /// Forces compilation of the e-matching program now (e.g. at rule
+    /// construction time) instead of on the first search.
+    pub fn precompile(&self) {
+        let _ = self.program();
     }
 
     /// The root id within the pattern AST.
@@ -188,21 +219,71 @@ impl<L: Language> Pattern<L> {
         vars
     }
 
-    /// Searches the entire e-graph for matches of this pattern.
+    /// Searches the entire e-graph for matches of this pattern, using the
+    /// compiled e-matching machine and the operator index: only classes
+    /// containing a node with the pattern root's operator are visited.
     ///
     /// Filtered e-nodes (see [`EGraph::filter_node`]) are never matched.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the e-graph is clean ([`EGraph::is_clean`]):
+    /// searching a dirty e-graph silently returns stale or incomplete
+    /// matches, so callers must [`EGraph::rebuild`] first.
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
+        self.program().search(egraph)
+    }
+
+    /// Like [`Pattern::search`], but skips e-classes whose match set cannot
+    /// have changed since `watermark`, a snapshot of [`EGraph::watermark`]
+    /// taken on an earlier clean e-graph. Touch stamps are propagated to
+    /// transitive parents during [`EGraph::rebuild`], so a class is revisited
+    /// whenever *any* class reachable from it gained nodes or was merged.
+    ///
+    /// The result is every match rooted in a *touched* class — a superset
+    /// of the matches created since the snapshot (pre-existing matches in a
+    /// touched class are returned again). Matches in untouched classes are
+    /// skipped but never lost: they were returned by the earlier search.
+    pub fn search_since<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        watermark: u64,
+    ) -> Vec<SearchMatches> {
+        self.program().search_since(egraph, watermark)
+    }
+
+    /// Searches a single e-class for matches of this pattern's root, using
+    /// the compiled e-matching machine.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the e-graph is clean (see [`Pattern::search`]).
+    pub fn search_eclass<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        self.program().search_eclass(egraph, eclass)
+    }
+
+    /// Reference implementation of [`Pattern::search`]: the legacy
+    /// recursive matcher, kept as the oracle for differential tests and
+    /// benchmarks. It scans every class (no operator index) and clones
+    /// substitution vectors per branch. Unlike [`Pattern::search`] it does
+    /// not assert cleanliness, so tests can exercise dirty-graph behaviour.
+    pub fn search_naive<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
         let mut out = vec![];
         for class in egraph.classes() {
-            if let Some(m) = self.search_eclass(egraph, class.id) {
+            if let Some(m) = self.search_eclass_naive(egraph, class.id) {
                 out.push(m);
             }
         }
         out
     }
 
-    /// Searches a single e-class for matches of this pattern's root.
-    pub fn search_eclass<N: Analysis<L>>(
+    /// Reference implementation of [`Pattern::search_eclass`] (see
+    /// [`Pattern::search_naive`]).
+    pub fn search_eclass_naive<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
         eclass: Id,
@@ -258,7 +339,13 @@ impl<L: Language> Pattern<L> {
                     results.extend(partial);
                 }
                 // Deduplicate identical substitutions (can arise when the
-                // same term is reachable through multiple e-nodes).
+                // same term is reachable through multiple e-nodes, e.g. via
+                // not-yet-canonicalized duplicates on a dirty e-graph).
+                // Duplicates are not necessarily adjacent, so sort first —
+                // a bare `dedup()` on the unsorted list let non-adjacent
+                // duplicates through, inflating match counts and triggering
+                // redundant rewrite applications.
+                results.sort_unstable();
                 results.dedup();
                 results
             }
@@ -441,6 +528,111 @@ mod tests {
         let ms = pat.search(&eg);
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].eclass, eg.find(root));
+    }
+
+    /// Regression test for the duplicate-substitution bug: `dedup()` on an
+    /// unsorted match list only removes *adjacent* duplicates. A dirty
+    /// class holding a not-yet-canonicalized duplicate node separated from
+    /// its twin by an unrelated node produces the duplicate substitution in
+    /// a non-adjacent position; the old code returned 3 substitutions, the
+    /// sort-then-dedup fix returns 2.
+    #[test]
+    fn nonadjacent_duplicate_substs_are_deduped() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let c = eg.add(sym("c"));
+        let d = eg.add(sym("d"));
+        let a2 = eg.add(sym("a2"));
+        let m1 = eg.add(Math::Mul([a, b]));
+        let m2 = eg.add(Math::Mul([c, d]));
+        let m3 = eg.add(Math::Mul([a2, b]));
+        // Make `a2` equivalent to `a` (so Mul([a2, b]) canonicalizes to
+        // Mul([a, b])) and put all three Mul nodes in one class, WITHOUT
+        // rebuilding: the class node list is now
+        // [Mul(a,b), Mul(c,d), Mul(a2,b)] — a non-adjacent duplicate pair.
+        eg.union(a, a2);
+        eg.union(m1, m2);
+        eg.union(m1, m3);
+
+        let mut ast = RecExpr::default();
+        let x = ast.add(ENodeOrVar::Var(Var::new("x")));
+        let y = ast.add(ENodeOrVar::Var(Var::new("y")));
+        ast.add(ENodeOrVar::ENode(Math::Mul([x, y])));
+        let pat = Pattern::new(ast);
+
+        // The naive oracle tolerates dirty e-graphs; its dedup must remove
+        // the non-adjacent duplicate.
+        let m = pat.search_eclass_naive(&eg, m1).expect("matches exist");
+        assert_eq!(
+            m.substs.len(),
+            2,
+            "expected {{x:a,y:b}} and {{x:c,y:d}} exactly once each, got {:?}",
+            m.substs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty")]
+    fn search_on_dirty_egraph_asserts() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        eg.add(Math::Mul([a, two]));
+        let b = eg.add(sym("b"));
+        eg.union(a, b); // leaves the e-graph dirty
+        let _ = mul_by_two_pattern().search(&eg);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty")]
+    fn search_eclass_on_dirty_egraph_asserts() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        eg.union(a, b);
+        let _ = mul_by_two_pattern().search_eclass(&eg, a);
+    }
+
+    /// Searching with a fresh watermark returns nothing; after a union deep
+    /// below a potential match root, the root class must be revisited even
+    /// though its own node list never changed (touch propagation).
+    #[test]
+    fn search_since_sees_matches_from_deep_changes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let p = eg.add(sym("p"));
+        let two = eg.add(Math::Num(2));
+        let root = eg.add(Math::Mul([p, two]));
+        eg.rebuild();
+
+        // Pattern (* (+ ?x ?y) 2): no Add anywhere yet.
+        let mut ast = RecExpr::default();
+        let x = ast.add(ENodeOrVar::Var(Var::new("x")));
+        let y = ast.add(ENodeOrVar::Var(Var::new("y")));
+        let add = ast.add(ENodeOrVar::ENode(Math::Add([x, y])));
+        let two_p = ast.add(ENodeOrVar::ENode(Math::Num(2)));
+        ast.add(ENodeOrVar::ENode(Math::Mul([add, two_p])));
+        let pat = Pattern::new(ast);
+        assert!(pat.search(&eg).is_empty());
+
+        let watermark = eg.watermark();
+        assert!(
+            pat.search_since(&eg, watermark).is_empty(),
+            "nothing touched since the watermark"
+        );
+
+        // Teach the e-graph p == (+ a b). The Mul class gains no node, but
+        // its child class does, so the Mul class counts as touched.
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let sum = eg.add(Math::Add([a, b]));
+        eg.union(p, sum);
+        eg.rebuild();
+
+        let ms = pat.search_since(&eg, watermark);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].eclass, eg.find(root));
+        assert_eq!(ms[0].substs[0][Var::new("x")], eg.find(a));
     }
 
     #[test]

@@ -79,12 +79,36 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
         self.searcher.search(egraph)
     }
 
+    /// Searches only e-classes touched since `watermark` (a snapshot of
+    /// [`EGraph::watermark`]); see [`crate::Pattern::search_since`].
+    pub fn search_since(&self, egraph: &EGraph<L, N>, watermark: u64) -> Vec<SearchMatches> {
+        self.searcher.search_since(egraph, watermark)
+    }
+
     /// Applies the rewrite to the given matches, returning the number of
     /// applications that changed the e-graph (i.e. caused a union).
     pub fn apply(&self, egraph: &mut EGraph<L, N>, matches: &[SearchMatches]) -> usize {
+        self.apply_capped(egraph, matches, usize::MAX).0
+    }
+
+    /// Like [`Rewrite::apply`], but checks the e-graph's total node count
+    /// against `node_limit` before every application and stops as soon as
+    /// the limit is reached (the check is O(1)). Returns the number of
+    /// effective applications and whether the limit cut the loop short; a
+    /// single application can overshoot the limit by at most the applier
+    /// pattern's size.
+    pub fn apply_capped(
+        &self,
+        egraph: &mut EGraph<L, N>,
+        matches: &[SearchMatches],
+        node_limit: usize,
+    ) -> (usize, bool) {
         let mut changed = 0;
         for m in matches {
             for subst in &m.substs {
+                if egraph.total_number_of_nodes() >= node_limit {
+                    return (changed, true);
+                }
                 if let Some(cond) = &self.condition {
                     if !cond(egraph, m.eclass, subst) {
                         continue;
@@ -96,7 +120,7 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
                 }
             }
         }
-        changed
+        (changed, false)
     }
 
     /// Searches and applies in one step, returning the number of effective

@@ -80,6 +80,7 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
+    incremental: bool,
 }
 
 impl<L: Language, N: Analysis<L>> Runner<L, N> {
@@ -94,6 +95,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             iter_limit: 30,
             node_limit: 10_000,
             time_limit: Duration::from_secs(5),
+            incremental: false,
         }
     }
 
@@ -107,6 +109,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             iter_limit: 30,
             node_limit: 10_000,
             time_limit: Duration::from_secs(5),
+            incremental: false,
         }
     }
 
@@ -136,11 +139,34 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Enables incremental search: after the first iteration, each rewrite
+    /// only searches e-classes touched since the previous iteration's
+    /// watermark (see [`crate::Pattern::search_since`]). Matches that
+    /// already existed were applied (or had their condition evaluated) in
+    /// an earlier iteration and are not revisited.
+    ///
+    /// # Contract
+    ///
+    /// This is outcome-preserving for unconditional rewrites, and for
+    /// conditional rewrites whose condition depends only on the matched
+    /// e-classes (their nodes and analysis data): any event that can flip
+    /// such a condition also touches those classes, so the match is
+    /// re-surfaced. A condition reading *unrelated* global state (e.g.
+    /// `egraph.total_number_of_nodes()`, wall-clock time) may flip without
+    /// touching the match's classes — under incremental search such a
+    /// rewrite can fire later than in a full-search run, or not at all.
+    /// Keep the default (full search) for rewrites with such conditions.
+    pub fn with_incremental_search(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
+        self
+    }
+
     /// Runs equality saturation with the given rewrites until saturation or
     /// a limit is reached. Returns the stop reason.
     pub fn run(&mut self, rewrites: &[Rewrite<L, N>]) -> StopReason {
         let start = Instant::now();
         self.egraph.rebuild();
+        let mut watermark: Option<u64> = None;
         let reason = loop {
             if self.iterations.len() >= self.iter_limit {
                 break StopReason::IterationLimit(self.iter_limit);
@@ -153,20 +179,37 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             }
 
             let search_start = Instant::now();
-            let all_matches: Vec<_> = rewrites.iter().map(|rw| rw.search(&self.egraph)).collect();
+            let all_matches: Vec<_> = rewrites
+                .iter()
+                .map(|rw| match watermark {
+                    Some(w) => rw.search_since(&self.egraph, w),
+                    None => rw.search(&self.egraph),
+                })
+                .collect();
             let search_time = search_start.elapsed();
             let total_matches: usize = all_matches
                 .iter()
                 .flat_map(|ms| ms.iter().map(|m| m.substs.len()))
                 .sum();
+            if self.incremental {
+                // Snapshot before this iteration mutates anything: the next
+                // search revisits exactly the classes touched from here on.
+                watermark = Some(self.egraph.watermark());
+            }
 
             let nodes_before = self.egraph.total_number_of_nodes();
             let unions_before = self.egraph.union_count();
 
             let apply_start = Instant::now();
             let mut applied = 0;
+            let mut hit_node_limit = false;
             for (rw, matches) in rewrites.iter().zip(&all_matches) {
-                applied += rw.apply(&mut self.egraph, matches);
+                let (n, hit) = rw.apply_capped(&mut self.egraph, matches, self.node_limit);
+                applied += n;
+                if hit {
+                    hit_node_limit = true;
+                    break;
+                }
             }
             let apply_time = apply_start.elapsed();
 
@@ -184,6 +227,9 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
                 rebuild_time,
             });
 
+            if hit_node_limit {
+                break StopReason::NodeLimit(self.node_limit);
+            }
             let changed = self.egraph.total_number_of_nodes() != nodes_before
                 || self.egraph.union_count() != unions_before;
             if !changed {
@@ -326,6 +372,72 @@ mod tests {
         // A real run does measurable search/apply/rebuild work, so the
         // recorded per-phase times must actually be populated.
         assert!(runner.total_time() > Duration::ZERO);
+    }
+
+    /// The node limit must bound e-graph growth *within* an iteration, not
+    /// only between iterations: with many matches queued, the old
+    /// once-per-iteration check overshot `node_limit` by the whole match
+    /// batch. The capped apply loop stops within one application's worth of
+    /// nodes (here the applier `(<< ?x 1)` adds at most 2 per application).
+    #[test]
+    fn node_limit_overshoot_is_bounded() {
+        let mut e = RecExpr::default();
+        let two = e.add(Math::Num(2));
+        let mut outs = vec![];
+        for i in 0..50 {
+            let s = e.add(Math::Sym(Symbol::new(format!("v{i}"))));
+            outs.push(e.add(Math::Mul([s, two])));
+        }
+        // Chain the outputs together so the expression is single-rooted.
+        let mut acc = outs[0];
+        for &o in &outs[1..] {
+            acc = e.add(Math::Add([acc, o]));
+        }
+
+        let strength: Rewrite<Math, ()> = Rewrite::new(
+            "strength-reduce",
+            pattern(|p| {
+                let x = p.add(var("x"));
+                let two = p.add(node(Math::Num(2)));
+                p.add(node(Math::Mul([x, two])));
+            }),
+            pattern(|p| {
+                let x = p.add(var("x"));
+                let one = p.add(node(Math::Num(1)));
+                p.add(node(Math::Shl([x, one])));
+            }),
+        );
+
+        let runner = Runner::new(()).with_expr(&e);
+        let limit = runner.egraph.total_number_of_nodes() + 5;
+        let mut runner = Runner::with_egraph(runner.egraph).with_node_limit(limit);
+        let reason = runner.run(&[strength]);
+        assert_eq!(reason, StopReason::NodeLimit(limit));
+        // 50 pending matches would previously have overshot by ~50+ nodes;
+        // now at most one application (2 nodes) past the limit.
+        assert!(
+            runner.egraph.total_number_of_nodes() <= limit + 2,
+            "overshoot too large: {} nodes vs limit {}",
+            runner.egraph.total_number_of_nodes(),
+            limit
+        );
+        // The partial iteration is still recorded with populated stats.
+        assert_eq!(runner.iterations.len(), 1);
+    }
+
+    /// Incremental (watermark-restricted) search must reach the same
+    /// saturation result as full search on the paper's running example.
+    #[test]
+    fn incremental_search_reaches_same_result() {
+        let mut runner = Runner::new(())
+            .with_expr(&start_expr())
+            .with_incremental_search(true);
+        let reason = runner.run(&rules());
+        assert_eq!(reason, StopReason::Saturated);
+        let ex = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = ex.find_best(runner.roots[0]).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! congruence closure, and extraction soundness under random workloads.
 
 use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 use tensat_egraph::doctest_lang::SimpleMath as Math;
-use tensat_egraph::{AstSize, EGraph, Extractor, Id, RecExpr, Symbol};
+use tensat_egraph::{
+    AstSize, EGraph, ENodeOrVar, Extractor, Id, Pattern, RecExpr, SearchMatches, Symbol, Var,
+};
 
 /// A random expression generator: a sequence of build steps referencing
 /// earlier nodes only.
@@ -45,6 +48,166 @@ fn build_expr(steps: &[Step]) -> RecExpr<Math> {
         e.add(node);
     }
     e
+}
+
+/// A random pattern generator, mirroring [`Step`]: a linear build sequence
+/// whose nodes reference earlier nodes only. Variables come from a pool of
+/// three names, so repeated draws produce non-linear patterns like
+/// `(+ ?x ?x)` naturally.
+#[derive(Debug, Clone)]
+enum PatStep {
+    Var(u8),
+    Num(i64),
+    Sym(u8),
+    Add(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+}
+
+fn pattern_strategy(max_len: usize) -> impl Strategy<Value = Vec<PatStep>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..3).prop_map(PatStep::Var),
+            (-4i64..=4).prop_map(PatStep::Num),
+            (0u8..4).prop_map(PatStep::Sym),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| PatStep::Add(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| PatStep::Mul(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| PatStep::Div(a, b)),
+        ],
+        1..max_len,
+    )
+}
+
+fn build_pattern(steps: &[PatStep]) -> Pattern<Math> {
+    let mut ast = RecExpr::default();
+    for (i, step) in steps.iter().enumerate() {
+        let pick = |r: usize| Id::from(if i == 0 { 0 } else { r % i });
+        let node = match step {
+            PatStep::Var(v) => ENodeOrVar::Var(Var::new(format!("v{v}"))),
+            PatStep::Num(n) => ENodeOrVar::ENode(Math::Num(*n)),
+            PatStep::Sym(s) => ENodeOrVar::ENode(Math::Sym(Symbol::new(format!("s{s}")))),
+            PatStep::Add(a, b) if i > 0 => ENodeOrVar::ENode(Math::Add([pick(*a), pick(*b)])),
+            PatStep::Mul(a, b) if i > 0 => ENodeOrVar::ENode(Math::Mul([pick(*a), pick(*b)])),
+            PatStep::Div(a, b) if i > 0 => ENodeOrVar::ENode(Math::Div([pick(*a), pick(*b)])),
+            _ => ENodeOrVar::Var(Var::new("v0")),
+        };
+        ast.add(node);
+    }
+    Pattern::new(ast)
+}
+
+/// Normalizes a match list into a canonical set representation: canonical
+/// class id -> set of substitutions, each a sorted list of canonical
+/// `(variable, class)` bindings. Two searches are equivalent iff their
+/// normal forms are equal.
+type NormalMatches = BTreeMap<Id, BTreeSet<Vec<(Var, Id)>>>;
+
+fn normalize(eg: &EGraph<Math, ()>, matches: &[SearchMatches]) -> NormalMatches {
+    let mut out: NormalMatches = BTreeMap::new();
+    for m in matches {
+        let substs = out.entry(eg.find(m.eclass)).or_default();
+        for s in &m.substs {
+            let mut bindings: Vec<(Var, Id)> = s.iter().map(|(v, id)| (v, eg.find(id))).collect();
+            bindings.sort();
+            substs.insert(bindings);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Differential test of the tentpole: the compiled, op-indexed
+    /// e-matching machine and the legacy recursive matcher must return
+    /// identical match sets (same classes, same substitution sets) on
+    /// random e-graphs and random patterns — including non-linear patterns,
+    /// which the small variable pool generates frequently.
+    #[test]
+    fn machine_search_equals_naive_search(
+        steps in steps_strategy(40),
+        pat_steps in pattern_strategy(12),
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 0..6)
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let class_ids: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        for (a, b) in unions {
+            let a = class_ids[a % class_ids.len()];
+            let b = class_ids[b % class_ids.len()];
+            eg.union(a, b);
+        }
+        eg.rebuild();
+        let pattern = build_pattern(&pat_steps);
+        let machine = pattern.search(&eg);
+        let naive = pattern.search_naive(&eg);
+        prop_assert_eq!(normalize(&eg, &machine), normalize(&eg, &naive));
+    }
+
+    /// Same differential property with a random subset of e-nodes filtered:
+    /// both matchers must skip filtered nodes identically (the machine's
+    /// ground-term `Lookup` instruction checks the filter set node by node).
+    #[test]
+    fn machine_search_equals_naive_search_with_filtered_nodes(
+        steps in steps_strategy(40),
+        pat_steps in pattern_strategy(12),
+        filter_picks in prop::collection::vec(any::<usize>(), 0..8)
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let all_nodes: Vec<Math> = eg
+            .classes()
+            .flat_map(|c| c.iter().cloned())
+            .collect();
+        for pick in filter_picks {
+            let node = all_nodes[pick % all_nodes.len()].clone();
+            eg.filter_node(&node);
+        }
+        let pattern = build_pattern(&pat_steps);
+        let machine = pattern.search(&eg);
+        let naive = pattern.search_naive(&eg);
+        prop_assert_eq!(normalize(&eg, &machine), normalize(&eg, &naive));
+    }
+
+    /// Honesty of watermark-restricted incremental search: after arbitrary
+    /// unions, a full search returns exactly the union of (a) the matches
+    /// already present before the mutation (mapped through the union-find)
+    /// and (b) the matches found by `search_since` from the pre-mutation
+    /// watermark. If touch propagation missed an ancestor class, (b) would
+    /// lose a match and the equality would fail.
+    #[test]
+    fn incremental_search_is_honest(
+        steps in steps_strategy(40),
+        pat_steps in pattern_strategy(12),
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 1..6)
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let pattern = build_pattern(&pat_steps);
+        let before = pattern.search(&eg);
+        let watermark = eg.watermark();
+
+        let class_ids: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        for (a, b) in unions {
+            let a = class_ids[a % class_ids.len()];
+            let b = class_ids[b % class_ids.len()];
+            eg.union(a, b);
+        }
+        eg.rebuild();
+
+        let full = normalize(&eg, &pattern.search(&eg));
+        let since = pattern.search_since(&eg, watermark);
+        // union of `before` (re-canonicalized) and `since`:
+        let mut combined = normalize(&eg, &before);
+        for (class, substs) in normalize(&eg, &since) {
+            combined.entry(class).or_default().extend(substs);
+        }
+        prop_assert_eq!(full, combined);
+    }
 }
 
 proptest! {

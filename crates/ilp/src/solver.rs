@@ -320,7 +320,29 @@ impl<'a> Search<'a> {
         (0..self.problem.num_vars()).find(|&i| unfixed(i))
     }
 
-    fn branch(&mut self, mut lo: Vec<f64>, mut hi: Vec<f64>) {
+    /// Depth-first branch-and-bound over an explicit worklist. The search
+    /// tree's depth scales with the number of integral variables (thousands
+    /// for extraction problems over large e-graphs), so descending by
+    /// recursion overflows thread stacks; the LIFO worklist preserves the
+    /// recursive exploration order exactly.
+    fn branch(&mut self, lo: Vec<f64>, hi: Vec<f64>) {
+        let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(lo, hi)];
+        while let Some((lo, hi)) = stack.pop() {
+            if self.hit_limit {
+                break;
+            }
+            self.expand(lo, hi, &mut stack);
+        }
+    }
+
+    /// Processes one branch-and-bound node, pushing its children onto the
+    /// worklist (in reverse, so they pop in the original recursive order).
+    fn expand(
+        &mut self,
+        mut lo: Vec<f64>,
+        mut hi: Vec<f64>,
+        stack: &mut Vec<(Vec<f64>, Vec<f64>)>,
+    ) {
         self.nodes += 1;
         if self.out_of_budget() {
             return;
@@ -399,17 +421,17 @@ impl<'a> Search<'a> {
                 // than enumerating every value.
                 if hi_i - lo_i > 1.5 {
                     // Branch as [lo, mid] and [mid+1, hi] instead of value
-                    // enumeration.
+                    // enumeration; the left half is explored first.
                     let mid = ((lo_i + hi_i) / 2.0).floor();
                     let mut left_hi = hi.clone();
                     left_hi[i] = mid;
-                    self.branch(lo.clone(), left_hi);
                     let mut right_lo = lo.clone();
                     right_lo[i] = mid + 1.0;
-                    self.branch(right_lo, hi.clone());
+                    stack.push((right_lo, hi));
+                    stack.push((lo, left_hi));
                     return;
                 }
-                for v in candidates {
+                for v in candidates.into_iter().rev() {
                     if v < lo_i - self.cfg.tolerance || v > hi_i + self.cfg.tolerance {
                         continue;
                     }
@@ -417,10 +439,7 @@ impl<'a> Search<'a> {
                     let mut new_hi = hi.clone();
                     new_lo[i] = v;
                     new_hi[i] = v;
-                    self.branch(new_lo, new_hi);
-                    if self.hit_limit {
-                        return;
-                    }
+                    stack.push((new_lo, new_hi));
                 }
             }
         }

@@ -27,6 +27,10 @@ pub fn rw(name: &str, lhs: &str, rhs: &str) -> TensorRewrite {
         parse_pattern(lhs).unwrap_or_else(|e| panic!("rule {name}: bad LHS pattern `{lhs}`: {e}"));
     let applier =
         parse_pattern(rhs).unwrap_or_else(|e| panic!("rule {name}: bad RHS pattern `{rhs}`: {e}"));
+    // Rule definitions are static program data: compile the e-matching
+    // program up front so the first exploration iteration pays no
+    // compilation cost (clones of the rule inherit the compiled program).
+    searcher.precompile();
     Rewrite::new_conditional(name, searcher, applier.clone(), shape_check(applier))
 }
 
