@@ -47,14 +47,22 @@ fn bench_ematching(c: &mut Criterion) {
 
 /// Head-to-head search micro-benchmark on real benchmark model e-graphs:
 /// the compiled, op-indexed e-matching machine ([`tensat_egraph::Pattern::search`])
-/// versus the legacy recursive matcher kept as the differential-testing
-/// oracle ([`tensat_egraph::Pattern::search_naive`]). The e-graph is grown
-/// by one exploration iteration first so classes hold multiple nodes, as
-/// they do during saturation.
+/// versus the parallel sharded driver ([`tensat_egraph::search_all_parallel`]
+/// with 4 threads, which returns bit-identical match lists) versus the
+/// legacy recursive matcher kept as the differential-testing oracle
+/// ([`tensat_egraph::Pattern::search_naive`]). The e-graph is grown by two
+/// exploration iterations first so classes hold multiple nodes, as they do
+/// during saturation (bigger than the one-iteration setup this bench used
+/// before the parallel driver existed, so absolute numbers are not
+/// comparable across PRs).
 fn bench_machine_vs_naive_on_models(c: &mut Criterion) {
     let rules = single_rules();
     for model in ["BERT", "ResNeXt-50"] {
-        let graph = build_benchmark(model, ModelScale::tiny());
+        // Two exploration iterations on the default model scale: the search
+        // workload must be large enough (hundreds of microseconds) that the
+        // parallel driver's thread-spawn cost is amortized — on a tiny
+        // e-graph the sharded search measures spawn overhead, not matching.
+        let graph = build_benchmark(model, ModelScale::default());
         let mut eg = TensorEGraph::new(TensorAnalysis);
         let root = eg.add_expr(&graph);
         eg.rebuild();
@@ -64,7 +72,9 @@ fn bench_machine_vs_naive_on_models(c: &mut Criterion) {
             &rules,
             &[],
             &tensat_core::ExplorationConfig {
-                max_iter: 1,
+                max_iter: 2,
+                node_limit: 20_000,
+                search_threads: 1,
                 ..Default::default()
             },
         );
@@ -75,6 +85,16 @@ fn bench_machine_vs_naive_on_models(c: &mut Criterion) {
                     .iter()
                     .flat_map(|r| r.search(&eg))
                     .map(|m| m.substs.len())
+                    .sum();
+                std::hint::black_box(total)
+            })
+        });
+        c.bench_function(&format!("ematch_parallel_{model}"), |b| {
+            let searchers: Vec<_> = rules.iter().map(|r| &r.searcher).collect();
+            b.iter(|| {
+                let total: usize = tensat_egraph::search_all_parallel(&searchers, &eg, 4)
+                    .iter()
+                    .flat_map(|ms| ms.iter().map(|m| m.substs.len()))
                     .sum();
                 std::hint::black_box(total)
             })
@@ -107,6 +127,11 @@ fn bench_one_exploration_iteration(c: &mut Criterion) {
                 &[],
                 &tensat_core::ExplorationConfig {
                     max_iter: 1,
+                    // Pinned: the default is env/core-count dependent, and
+                    // this e-graph is far too small for sharding to pay —
+                    // unpinned, the bench would measure spawn overhead and
+                    // drift across hosts.
+                    search_threads: 1,
                     ..Default::default()
                 },
             );

@@ -34,6 +34,7 @@ fn main() {
                     node_limit: 8_000,
                     time_limit: Duration::from_secs(20),
                     cycle_filter: CycleFilter::Efficient,
+                    ..Default::default()
                 },
             );
             let time_of = |cycle: bool, int: bool| {

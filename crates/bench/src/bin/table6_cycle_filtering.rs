@@ -33,6 +33,7 @@ fn main() {
                         node_limit: 8_000,
                         time_limit: Duration::from_secs(120),
                         cycle_filter: filter,
+                        ..Default::default()
                     },
                 );
                 stats.time.as_secs_f64()

@@ -32,6 +32,7 @@ pub fn tensat_config(k_multi: usize) -> OptimizerConfig {
         node_limit: 20_000,
         exploration_time_limit: Duration::from_secs(30),
         cycle_filter: CycleFilter::Efficient,
+        search_threads: tensat_core::default_search_threads(),
         extraction: ExtractionMode::Ilp,
         ilp_cycle_constraints: false,
         ilp_integer_topo_vars: false,

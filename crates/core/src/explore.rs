@@ -5,7 +5,9 @@
 use crate::cycles::{remove_all_cycles, would_create_cycle, DescendantsMap};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use tensat_egraph::{ENodeOrVar, Id, Pattern, RecExpr, Subst, Var};
+use tensat_egraph::{
+    search_all_parallel, search_threads_from_env, ENodeOrVar, Id, Pattern, RecExpr, Subst, Var,
+};
 use tensat_ir::{TensorEGraph, TensorLang};
 use tensat_rules::{pattern_is_valid, MultiPatternRule, TensorRewrite};
 
@@ -38,10 +40,16 @@ pub struct ExplorationConfig {
     pub time_limit: Duration,
     /// The cycle-filtering algorithm.
     pub cycle_filter: CycleFilter,
+    /// Threads used by the e-matching search phase. `1` runs the sequential
+    /// driver (exact pre-parallel behavior); larger values shard candidate
+    /// classes across scoped threads with bit-identical match lists, so
+    /// this only affects wall-clock time.
+    pub search_threads: usize,
 }
 
 impl Default for ExplorationConfig {
-    /// The paper's defaults: `k_multi = 1`, `k_max = 15`, `N_max = 50 000`.
+    /// The paper's defaults: `k_multi = 1`, `k_max = 15`, `N_max = 50 000`,
+    /// plus search parallelism from [`default_search_threads`].
     fn default() -> Self {
         ExplorationConfig {
             k_multi: 1,
@@ -49,8 +57,17 @@ impl Default for ExplorationConfig {
             node_limit: 50_000,
             time_limit: Duration::from_secs(60),
             cycle_filter: CycleFilter::Efficient,
+            search_threads: default_search_threads(),
         }
     }
+}
+
+/// The default search thread count: the `TENSAT_SEARCH_THREADS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism (falling back to 1 if that cannot be determined).
+pub fn default_search_threads() -> usize {
+    search_threads_from_env()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Statistics of one exploration run.
@@ -124,6 +141,19 @@ pub fn merge_substs(egraph: &TensorEGraph, a: &Subst, b: &Subst) -> Option<Subst
         }
     }
     Some(out)
+}
+
+/// True if two substitutions bind the same variables to the same e-classes
+/// *modulo the union-find*. The derived `PartialEq` on [`Subst`] compares
+/// raw `Id`s, which is too strict inside the apply loop: a union performed
+/// by an earlier application can leave two equivalent bindings with
+/// different (non-canonical) ids, letting them slip past the
+/// `skip_identical` self-application guard.
+fn substs_equal_canonical(egraph: &TensorEGraph, a: &Subst, b: &Subst) -> bool {
+    a.len() == b.len()
+        && a.iter().all(
+            |(var, id)| matches!(b.get(var), Some(other) if egraph.find(other) == egraph.find(id)),
+        )
 }
 
 struct MultiRuleCompiled {
@@ -200,19 +230,39 @@ pub fn explore(
         // requires a clean e-graph for the operator index and congruence
         // invariant to hold. This mirrors Algorithm 1, which gathers every
         // match before applying any substitution.
-        let single_matches: Vec<_> = single_rules.iter().map(|rw| rw.search(egraph)).collect();
-        let multi_matches: Vec<_> = if iter < config.k_multi {
-            unique_patterns.iter().map(|p| p.search(egraph)).collect()
+        //
+        // Every searcher (single-pattern rules and the deduplicated
+        // canonical multi-pattern sources) goes through one batch of the
+        // sharded search driver, so a hot rule's candidate chunks spread
+        // over all `search_threads` threads; with 1 thread the driver is
+        // the sequential machine verbatim, and the match lists are
+        // bit-identical either way.
+        let do_multi = iter < config.k_multi;
+        let mut searchers: Vec<&Pattern<TensorLang>> =
+            single_rules.iter().map(|rw| &rw.searcher).collect();
+        if do_multi {
+            searchers.extend(unique_patterns.iter());
+        }
+        let mut single_matches = search_all_parallel(&searchers, egraph, config.search_threads);
+        let multi_matches: Vec<_> = if do_multi {
+            single_matches.split_off(single_rules.len())
         } else {
             vec![]
         };
 
         // --- apply single-pattern rules --------------------------------------
-        for (rw, matches) in single_rules.iter().zip(&single_matches) {
+        'single_apply: for (rw, matches) in single_rules.iter().zip(&single_matches) {
             for m in matches {
                 for subst in &m.substs {
-                    if egraph.total_number_of_nodes() >= config.node_limit {
-                        break;
+                    // Both limits bound the *apply* loop, not just the
+                    // iteration boundary: a large match batch used to blow
+                    // straight through the wall-clock budget because only
+                    // `node_limit` was checked here (the multi-pattern
+                    // apply below always checked both).
+                    if egraph.total_number_of_nodes() >= config.node_limit
+                        || start.elapsed() >= config.time_limit
+                    {
+                        break 'single_apply;
                     }
                     if let Some(cond) = &rw.condition {
                         if !cond(egraph, m.eclass, subst) {
@@ -351,9 +401,9 @@ fn cartesian(
     }
     for (eclass, subst) in &per_src[depth] {
         if mrule.rule.skip_identical
-            && combo
-                .iter()
-                .any(|(c, s)| egraph.find(*c) == egraph.find(*eclass) && s == subst)
+            && combo.iter().any(|(c, s)| {
+                egraph.find(*c) == egraph.find(*eclass) && substs_equal_canonical(egraph, s, subst)
+            })
         {
             continue;
         }
@@ -514,6 +564,115 @@ mod tests {
         );
         assert!(stats.saturated);
         assert!(stats.iterations <= 2);
+    }
+
+    /// Regression test: the single-pattern apply loop only checked
+    /// `node_limit`, never the wall-clock budget, so one large match batch
+    /// blew straight through `time_limit`. A condition that sleeps 10 ms
+    /// per candidate on a graph with 20 matches would run ~200 ms under the
+    /// old code; with the in-loop check it must stop within a few sleeps of
+    /// the 30 ms budget.
+    #[test]
+    fn time_limit_bounds_single_pattern_apply_batch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let mut outs = vec![];
+        for i in 0..20 {
+            let w = g.weight(&format!("w{i}"), &[256, 128]);
+            outs.push(g.matmul(x, w));
+        }
+        let expr = g.finish(&outs);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+
+        let condition_calls = Arc::new(AtomicUsize::new(0));
+        let calls = condition_calls.clone();
+        let slow_noop = TensorRewrite::new_conditional(
+            "slow-noop",
+            parse_pattern("(matmul ?act ?x ?w)").unwrap(),
+            parse_pattern("(matmul ?act ?x ?w)").unwrap(),
+            Arc::new(move |_, _, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(10));
+                true
+            }),
+        );
+        let config = ExplorationConfig {
+            k_multi: 0,
+            max_iter: 1,
+            time_limit: Duration::from_millis(30),
+            cycle_filter: CycleFilter::Off,
+            ..Default::default()
+        };
+        explore(&mut eg, root, &[slow_noop], &[], &config);
+        let calls = condition_calls.load(Ordering::SeqCst);
+        assert!(calls >= 1, "the apply loop must have started");
+        assert!(
+            calls < 20,
+            "apply batch ignored the time limit: all {calls} candidates ran"
+        );
+    }
+
+    /// Regression test for the `skip_identical` guard: equivalent bindings
+    /// whose raw ids differ (equal only modulo `find`) must count as
+    /// identical once the classes are unioned.
+    #[test]
+    fn substs_equal_canonical_compares_modulo_find() {
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let a = eg.add(TensorLang::Num(1));
+        let b = eg.add(TensorLang::Num(2));
+        let x = Var::new("x");
+        let mut s1 = Subst::new();
+        s1.insert(x, a);
+        let mut s2 = Subst::new();
+        s2.insert(x, b);
+        // Distinct classes: neither raw nor canonical equality.
+        assert_ne!(s1, s2);
+        assert!(!substs_equal_canonical(&eg, &s1, &s2));
+        // Union the classes mid-iteration (no rebuild, as in the apply
+        // loop): raw ids still differ — the derived PartialEq the old guard
+        // used says "different" — but canonically they are the same binding.
+        eg.union(a, b);
+        assert_ne!(s1, s2, "raw ids still differ after the union");
+        assert!(substs_equal_canonical(&eg, &s1, &s2));
+        // Different variable sets never compare equal.
+        let mut s3 = Subst::new();
+        s3.insert(Var::new("y"), a);
+        assert!(!substs_equal_canonical(&eg, &s1, &s3));
+        let mut s4 = s1.clone();
+        s4.insert(Var::new("y"), a);
+        assert!(!substs_equal_canonical(&eg, &s1, &s4));
+    }
+
+    /// Parallel search must not change exploration outcomes: the same graph
+    /// explored with 1 thread and 4 threads produces identical statistics
+    /// (match lists are bit-identical, so every downstream decision —
+    /// conditions, cycle filtering, application order — is too).
+    #[test]
+    fn exploration_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let (mut eg, root) = two_matmul_graph();
+            let config = ExplorationConfig {
+                k_multi: 2,
+                max_iter: 4,
+                node_limit: 5_000,
+                search_threads: threads,
+                ..Default::default()
+            };
+            let stats = explore(&mut eg, root, &single_rules(), &multi_rules(), &config);
+            (
+                stats.iterations,
+                stats.nodes_per_iteration,
+                eg.total_number_of_nodes(),
+                eg.number_of_classes(),
+                eg.union_count(),
+            )
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

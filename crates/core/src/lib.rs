@@ -35,7 +35,9 @@ pub mod extract;
 pub mod optimizer;
 
 pub use cycles::{find_cycles, remove_all_cycles, would_create_cycle, DescendantsMap};
-pub use explore::{explore, CycleFilter, ExplorationConfig, ExplorationStats};
+pub use explore::{
+    default_search_threads, explore, CycleFilter, ExplorationConfig, ExplorationStats,
+};
 pub use extract::{
     extract_greedy, extract_ilp, ExtractError, ExtractionOutcome, IlpConfig, IlpStats, TreeCost,
 };

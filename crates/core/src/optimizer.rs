@@ -1,6 +1,8 @@
 //! The end-to-end TENSAT optimizer: exploration followed by extraction.
 
-use crate::explore::{explore, CycleFilter, ExplorationConfig, ExplorationStats};
+use crate::explore::{
+    default_search_threads, explore, CycleFilter, ExplorationConfig, ExplorationStats,
+};
 use crate::extract::{extract_greedy, extract_ilp, ExtractError, IlpConfig, IlpStats};
 use std::time::Duration;
 use tensat_egraph::RecExpr;
@@ -34,6 +36,11 @@ pub struct OptimizerConfig {
     pub exploration_time_limit: Duration,
     /// The cycle-filtering algorithm used during exploration.
     pub cycle_filter: CycleFilter,
+    /// Threads used by the exploration search phase (1 = sequential; the
+    /// parallel driver returns bit-identical matches, so this only affects
+    /// wall-clock time). Defaults to
+    /// [`default_search_threads`](crate::default_search_threads).
+    pub search_threads: usize,
     /// Which extraction algorithm to use.
     pub extraction: ExtractionMode,
     /// Include the ILP acyclicity constraints (only meaningful with
@@ -55,6 +62,7 @@ impl Default for OptimizerConfig {
             node_limit: 50_000,
             exploration_time_limit: Duration::from_secs(60),
             cycle_filter: CycleFilter::Efficient,
+            search_threads: default_search_threads(),
             extraction: ExtractionMode::Ilp,
             ilp_cycle_constraints: false,
             ilp_integer_topo_vars: false,
@@ -182,6 +190,7 @@ impl Optimizer {
             node_limit: self.config.node_limit,
             time_limit: self.config.exploration_time_limit,
             cycle_filter: self.config.cycle_filter,
+            search_threads: self.config.search_threads,
         };
         let exploration = explore(
             &mut egraph,

@@ -19,6 +19,13 @@ use std::mem::Discriminant;
 /// filtering (paper §5.2, Algorithm 2) resolves cycles by adding the
 /// offending e-nodes to this set; pattern matching and extraction skip them.
 ///
+/// Every read accessor used by pattern search (`find`, `eclass`, `lookup`,
+/// `is_filtered`, `classes_with_op`, `classes`) takes `&self` and avoids
+/// interior mutability — in particular [`EGraph::find`] does *not* path
+/// compress — so a clean e-graph can be shared across threads: `EGraph` is
+/// `Sync` whenever `L`, `N`, and `N::Data` are. The parallel e-matching
+/// driver ([`crate::search_all_parallel`]) relies on this.
+///
 /// # Examples
 ///
 /// ```
@@ -849,6 +856,16 @@ mod tests {
         assert!(eg.eclass(mul).last_touched() >= w);
         assert!(eg.eclass(outer).last_touched() >= w);
         assert!(eg.eclass(two).last_touched() < w);
+    }
+
+    /// The parallel search driver shares `&EGraph` across scoped threads;
+    /// this compile-time check pins the `Sync`-cleanliness of the read path
+    /// (it breaks if anyone adds interior mutability, e.g. a memoizing
+    /// `RefCell`, to a field reachable from the search accessors).
+    #[test]
+    fn egraph_is_sync_for_sync_parameters() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<EGraph<Math, ()>>();
     }
 
     #[test]

@@ -172,28 +172,60 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
 
     fn build_expr(
         &self,
-        class: Id,
+        root: Id,
         expr: &mut RecExpr<L>,
         cache: &mut HashMap<Id, Id>,
     ) -> Option<Id> {
-        let class = self.egraph.find(class);
-        if let Some(&done) = cache.get(&class) {
+        // One explicit frame per partially-built class instead of recursing
+        // per term-depth level: extracted terms can be deeper than a thread
+        // stack (a ~100k-deep chain overflows the 2 MiB test-thread stack).
+        struct Frame<L> {
+            class: Id,
+            node: L,
+            next_child: usize,
+            children: Vec<Id>,
+        }
+        let frame = |class: Id, node: L| Frame {
+            class,
+            node,
+            next_child: 0,
+            children: vec![],
+        };
+
+        let root = self.egraph.find(root);
+        if let Some(&done) = cache.get(&root) {
             return Some(done);
         }
-        let node = self.best_node(class)?.clone();
-        let mut children = Vec::with_capacity(node.children().len());
-        for &c in node.children() {
-            children.push(self.build_expr(c, expr, cache)?);
+        let mut stack = vec![frame(root, self.best_node(root)?.clone())];
+        loop {
+            let top = stack.last_mut().expect("loop returns before emptying");
+            if let Some(&child) = top.node.children().get(top.next_child) {
+                top.next_child += 1;
+                let child = self.egraph.find(child);
+                if let Some(&done) = cache.get(&child) {
+                    top.children.push(done);
+                } else {
+                    let node = self.best_node(child)?.clone();
+                    stack.push(frame(child, node));
+                }
+                continue;
+            }
+            // All children resolved: emit this node and hand the expression
+            // id to the parent frame (or return it for the root).
+            let done = stack.pop().expect("a frame is always on the stack");
+            let mut i = 0;
+            let node = done.node.map_children(|_| {
+                let id = done.children[i];
+                i += 1;
+                id
+            });
+            let id = expr.add(node);
+            cache.insert(done.class, id);
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(id),
+                None => return Some(id),
+            }
         }
-        let mut i = 0;
-        let node = node.map_children(|_| {
-            let id = children[i];
-            i += 1;
-            id
-        });
-        let id = expr.add(node);
-        cache.insert(class, id);
-        Some(id)
     }
 }
 
@@ -278,6 +310,33 @@ mod tests {
         let depth = Extractor::new(&eg, AstDepth).best_cost(abab).unwrap();
         assert_eq!(depth, 3);
         assert_eq!(size, 7); // tree size double counts the shared (+ a b)
+    }
+
+    /// Regression test: `build_expr` recursed once per term-depth level —
+    /// the last deep recursion left after the cycle finder and the ILP
+    /// branch-and-bound were converted to explicit stacks — and overflowed
+    /// the 2 MiB test-thread stack on chains ~100k nodes deep. The explicit
+    /// stack handles arbitrary depth.
+    #[test]
+    fn extraction_survives_very_deep_chains() {
+        const DEPTH: usize = 100_000;
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let one = eg.add(Math::Num(1));
+        let mut id = eg.add(sym("a"));
+        for _ in 0..DEPTH {
+            id = eg.add(Math::Mul([id, one]));
+        }
+        eg.rebuild();
+        let ex = Extractor::new(&eg, AstSize);
+        let (cost, expr) = ex.find_best(id).unwrap();
+        // Tree size of the chain: leaf (1) plus 2 per Mul level.
+        assert_eq!(cost, 2 * DEPTH + 1);
+        // DAG size: the two leaves plus one Mul node per level.
+        assert_eq!(expr.len(), DEPTH + 2);
+        // The rebuilt term must re-add into the original class.
+        let mut check = eg.clone();
+        let again = check.add_expr(&expr);
+        assert_eq!(check.find(again), check.find(id));
     }
 
     #[test]

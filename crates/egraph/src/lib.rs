@@ -22,7 +22,9 @@
 //!   through an operator index, with optional watermark-based incremental
 //!   search ([`Pattern::search_since`]); the legacy recursive matcher
 //!   remains available as a differential-testing oracle
-//!   ([`Pattern::search_naive`]).
+//!   ([`Pattern::search_naive`]). Search can be sharded across threads
+//!   ([`Pattern::search_parallel`], [`search_all_parallel`]) with
+//!   bit-identical results.
 //! * [`Runner`] — equality saturation with iteration / node / time limits
 //!   and saturation detection.
 //! * [`Extractor`] — greedy extraction with a pluggable [`CostFunction`].
@@ -66,10 +68,12 @@ pub use egraph::EGraph;
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use language::{Id, Language, Symbol};
 pub use machine::{Instruction, Program, Reg};
-pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
+pub use pattern::{
+    search_all_parallel, search_all_since_parallel, ENodeOrVar, Pattern, SearchMatches, Subst, Var,
+};
 pub use recexpr::RecExpr;
 pub use rewrite::{Condition, Rewrite};
-pub use runner::{Iteration, Runner, StopReason};
+pub use runner::{search_threads_from_env, Iteration, Runner, StopReason};
 pub use unionfind::UnionFind;
 
 /// A tiny arithmetic language exported solely so that doc examples across

@@ -20,10 +20,20 @@
 //! Search additionally consults the e-graph's operator index
 //! ([`EGraph::classes_with_op`]): only classes containing at least one node
 //! with the same operator discriminant as the pattern root are visited.
+//!
+//! The operator index also yields a natural *parallel* decomposition:
+//! programs are immutable and the e-graph's read path is `Sync`-clean, so
+//! candidate classes can be split into contiguous chunks and searched by
+//! scoped threads, each with its own register stack
+//! ([`Program::search_parallel`] and the batch driver behind
+//! [`crate::search_all_parallel`]). Merging the chunk outputs in chunk
+//! order reproduces the sequential result bit for bit.
 
 use crate::{Analysis, EGraph, ENodeOrVar, Id, Language, RecExpr, SearchMatches, Subst, Var};
 use std::collections::{HashMap, VecDeque};
 use std::mem::Discriminant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// A virtual register holding an e-class id during matching.
 pub type Reg = usize;
@@ -222,6 +232,62 @@ impl<L: Language> Program<L> {
         out
     }
 
+    /// Parallel version of [`Program::search`]: candidate classes are split
+    /// into contiguous chunks sharded across `n_threads` scoped threads,
+    /// each running the (immutable) program with its own register stack.
+    /// Chunk outputs are merged in chunk order, so the result is
+    /// bit-identical to the sequential search. `n_threads <= 1` runs the
+    /// sequential driver.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the e-graph is clean (see [`Program::search`]).
+    pub fn search_parallel<N>(&self, egraph: &EGraph<L, N>, n_threads: usize) -> Vec<SearchMatches>
+    where
+        L: Sync,
+        N: Analysis<L> + Sync,
+        N::Data: Sync,
+    {
+        self.search_since_parallel(egraph, 0, n_threads)
+    }
+
+    /// Parallel version of [`Program::search_since`]; see
+    /// [`Program::search_parallel`].
+    pub fn search_since_parallel<N>(
+        &self,
+        egraph: &EGraph<L, N>,
+        watermark: u64,
+        n_threads: usize,
+    ) -> Vec<SearchMatches>
+    where
+        L: Sync,
+        N: Analysis<L> + Sync,
+        N::Data: Sync,
+    {
+        let mut out = search_programs_since_parallel(&[self], egraph, watermark, n_threads);
+        out.pop().expect("one program in, one match list out")
+    }
+
+    /// The classes this program's search visits, in the deterministic order
+    /// the sequential driver uses (ascending class id, restricted by the
+    /// operator index when the root is a concrete node), skipping classes
+    /// untouched since `watermark`.
+    fn candidate_classes<N: Analysis<L>>(&self, egraph: &EGraph<L, N>, watermark: u64) -> Vec<Id> {
+        match self.root_op {
+            Some(op) => egraph
+                .classes_with_op(op)
+                .iter()
+                .copied()
+                .filter(|&id| egraph.eclass(id).last_touched() >= watermark)
+                .collect(),
+            None => egraph
+                .classes()
+                .filter(|class| class.last_touched() >= watermark)
+                .map(|class| class.id)
+                .collect(),
+        }
+    }
+
     /// Searches a single e-class.
     ///
     /// # Panics
@@ -265,6 +331,127 @@ impl<L: Language> Program<L> {
         substs.dedup();
         (!substs.is_empty()).then_some(SearchMatches { eclass, substs })
     }
+}
+
+/// Chunks per worker thread in the parallel search driver. More chunks than
+/// threads lets the atomic work queue rebalance when candidate classes have
+/// very uneven node counts (common: a few classes hold most of a model's
+/// operator nodes); contiguous chunks keep the merge deterministic.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Searches several compiled programs over one e-graph, sharding all their
+/// candidate classes across `n_threads` scoped threads.
+///
+/// Work items — contiguous chunks of each program's candidate list — go
+/// into a single atomic queue, so threads load-balance *across* programs:
+/// one hot rule's chunks spread over every thread instead of serializing
+/// the batch. Each thread owns a private register stack; the shared e-graph
+/// is only read (its search accessors are `Sync`-clean). Chunk outputs are
+/// written to per-item slots and merged in item order, which reproduces the
+/// sequential per-program match lists bit for bit.
+///
+/// `n_threads <= 1` (or an empty candidate set) runs the sequential driver
+/// directly — identical behavior, no thread overhead.
+pub(crate) fn search_programs_since_parallel<L, N>(
+    programs: &[&Program<L>],
+    egraph: &EGraph<L, N>,
+    watermark: u64,
+    n_threads: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    // The sequential mode IS the sequential driver — no candidate vectors,
+    // no duplicated iteration logic that could drift from `search_since`.
+    if n_threads <= 1 {
+        return programs
+            .iter()
+            .map(|p| p.search_since(egraph, watermark))
+            .collect();
+    }
+    debug_assert!(
+        egraph.is_clean(),
+        "pattern search on a dirty e-graph returns stale matches; call rebuild() first"
+    );
+    let candidates: Vec<Vec<Id>> = programs
+        .iter()
+        .map(|p| p.candidate_classes(egraph, watermark))
+        .collect();
+    let total: usize = candidates.iter().map(Vec::len).sum();
+
+    // Clamp the worker count: more workers than candidate classes would
+    // spawn threads with nothing to do, and more than a few per core is
+    // pure oversubscription (a caller passing `1000` must not create 999
+    // OS threads). The small multiple still lets CI force a >1 count on a
+    // single-core runner to exercise this path. A clamp to 1 means every
+    // spawned worker would idle — run sequentially.
+    let max_workers = std::thread::available_parallelism().map_or(4, |n| n.get() * 4);
+    let n_threads = n_threads.min(max_workers).min(total.max(1));
+    if n_threads == 1 {
+        return programs
+            .iter()
+            .map(|p| p.search_since(egraph, watermark))
+            .collect();
+    }
+
+    // Ground-term lookups are a per-(program, e-graph) constant: resolve
+    // them once here and share them read-only with every shard.
+    let lookups: Vec<Vec<Option<Id>>> = programs
+        .iter()
+        .map(|p| machine_lookups(egraph, &p.instructions))
+        .collect();
+
+    let chunk_size = total.div_ceil(n_threads * CHUNKS_PER_THREAD).max(1);
+    let mut items: Vec<(usize, std::ops::Range<usize>)> = vec![];
+    for (prog_idx, classes) in candidates.iter().enumerate() {
+        let mut start = 0;
+        while start < classes.len() {
+            let end = (start + chunk_size).min(classes.len());
+            items.push((prog_idx, start..end));
+            start = end;
+        }
+    }
+
+    // One result slot per work item; each slot is written exactly once, by
+    // the thread that claimed the item off the queue.
+    let slots: Vec<OnceLock<Vec<SearchMatches>>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let work = || {
+        let mut machine = Machine::default();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some((prog_idx, range)) = items.get(i) else {
+                break;
+            };
+            let program = programs[*prog_idx];
+            let found: Vec<SearchMatches> = candidates[*prog_idx][range.clone()]
+                .iter()
+                .filter_map(|&id| {
+                    program.search_class(egraph, &mut machine, &lookups[*prog_idx], id)
+                })
+                .collect();
+            slots[i].set(found).expect("each work item is claimed once");
+        }
+    };
+    std::thread::scope(|scope| {
+        // The calling thread is the n-th worker: it drains the queue too,
+        // so one spawn is saved and the search still makes progress while
+        // the OS brings the workers up.
+        for _ in 1..n_threads {
+            scope.spawn(work);
+        }
+        work();
+    });
+
+    // Items were generated per program in candidate order, so concatenating
+    // the slots in item order reproduces the sequential output exactly.
+    let mut out: Vec<Vec<SearchMatches>> = programs.iter().map(|_| vec![]).collect();
+    for ((prog_idx, _), slot) in items.iter().zip(slots) {
+        out[*prog_idx].extend(slot.into_inner().expect("every work item was processed"));
+    }
+    out
 }
 
 /// Resolves every `Lookup` instruction's ground term to its e-class once
@@ -481,6 +668,59 @@ mod tests {
         eg.filter_node(&Math::Num(2));
         assert_eq!(p.program().search(&eg).len(), 0);
         assert_eq!(p.search_naive(&eg).len(), 0);
+    }
+
+    /// The parallel driver must return *bit-identical* output to the
+    /// sequential one for every thread count, including counts far above
+    /// the candidate count (shards degenerate to single classes) — the
+    /// chunk-order merge is what guarantees this.
+    #[test]
+    fn parallel_search_is_bit_identical_for_all_thread_counts() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let two = eg.add(Math::Num(2));
+        for i in 0..37 {
+            let s = eg.add(sym(&format!("s{i}")));
+            let m = eg.add(Math::Mul([s, two]));
+            eg.add(Math::Mul([m, two]));
+        }
+        eg.rebuild();
+        let p = mul_by_two();
+        let sequential = p.program().search(&eg);
+        assert!(!sequential.is_empty());
+        for threads in [1, 2, 3, 4, 8, 64, 1000] {
+            let parallel = p.program().search_parallel(&eg, threads);
+            assert_eq!(sequential, parallel, "thread count {threads}");
+        }
+    }
+
+    /// Batch driver: every program's match list equals its standalone
+    /// sequential search, even when one "hot" pattern dominates the work.
+    #[test]
+    fn batch_parallel_search_matches_each_program() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let two = eg.add(Math::Num(2));
+        let mut prev = eg.add(sym("seed"));
+        for i in 0..25 {
+            let s = eg.add(sym(&format!("x{i}")));
+            let m = eg.add(Math::Mul([s, two]));
+            prev = eg.add(Math::Add([prev, m]));
+        }
+        eg.rebuild();
+        let hot = pat(|p| {
+            let x = p.add(ENodeOrVar::Var(Var::new("x")));
+            let y = p.add(ENodeOrVar::Var(Var::new("y")));
+            p.add(ENodeOrVar::ENode(Math::Add([x, y])));
+        });
+        let cold = mul_by_two();
+        let var_root = pat(|p| {
+            p.add(ENodeOrVar::Var(Var::new("x")));
+        });
+        let programs = [hot.program(), cold.program(), var_root.program()];
+        let batch = search_programs_since_parallel(&programs, &eg, 0, 4);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], hot.program().search(&eg));
+        assert_eq!(batch[1], cold.program().search(&eg));
+        assert_eq!(batch[2], var_root.program().search(&eg));
     }
 
     #[test]

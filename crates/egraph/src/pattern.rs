@@ -124,7 +124,11 @@ impl std::ops::Index<Var> for Subst {
 }
 
 /// All matches of a pattern inside one e-class.
-#[derive(Debug, Clone)]
+///
+/// The `PartialEq` instance is exact (same class id, same substitution
+/// list in the same order); differential tests use it to check that the
+/// parallel search driver is bit-identical to the sequential one.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchMatches {
     /// The e-class in which the pattern root matched.
     pub eclass: Id,
@@ -250,6 +254,42 @@ impl<L: Language> Pattern<L> {
         watermark: u64,
     ) -> Vec<SearchMatches> {
         self.program().search_since(egraph, watermark)
+    }
+
+    /// Parallel version of [`Pattern::search`]: shards the candidate
+    /// classes (from the operator index) into contiguous chunks searched by
+    /// `n_threads` scoped threads, then merges the chunk outputs in chunk
+    /// order — the result is bit-identical to [`Pattern::search`].
+    /// `n_threads <= 1` runs the sequential driver. To search many patterns
+    /// with cross-pattern load balancing, prefer [`crate::search_all_parallel`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the e-graph is clean (see [`Pattern::search`]).
+    pub fn search_parallel<N>(&self, egraph: &EGraph<L, N>, n_threads: usize) -> Vec<SearchMatches>
+    where
+        L: Sync,
+        N: Analysis<L> + Sync,
+        N::Data: Sync,
+    {
+        self.program().search_parallel(egraph, n_threads)
+    }
+
+    /// Parallel version of [`Pattern::search_since`]; see
+    /// [`Pattern::search_parallel`].
+    pub fn search_since_parallel<N>(
+        &self,
+        egraph: &EGraph<L, N>,
+        watermark: u64,
+        n_threads: usize,
+    ) -> Vec<SearchMatches>
+    where
+        L: Sync,
+        N: Analysis<L> + Sync,
+        N::Data: Sync,
+    {
+        self.program()
+            .search_since_parallel(egraph, watermark, n_threads)
     }
 
     /// Searches a single e-class for matches of this pattern's root, using
@@ -402,6 +442,49 @@ impl<L: Language> Display for Pattern<L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.ast)
     }
+}
+
+/// Searches a whole batch of patterns over one e-graph in parallel,
+/// returning one match list per pattern (same order as `patterns`).
+///
+/// All patterns' candidate-class chunks share a single work queue, so
+/// threads load-balance *across* rules: one rule with a huge candidate set
+/// does not serialize the batch. Every returned match list is bit-identical
+/// to the corresponding sequential [`Pattern::search`]. `n_threads <= 1`
+/// runs the sequential driver for each pattern in order.
+///
+/// # Panics
+///
+/// Debug-asserts that the e-graph is clean (see [`Pattern::search`]).
+pub fn search_all_parallel<L, N>(
+    patterns: &[&Pattern<L>],
+    egraph: &EGraph<L, N>,
+    n_threads: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    search_all_since_parallel(patterns, egraph, 0, n_threads)
+}
+
+/// Watermark-restricted version of [`search_all_parallel`]: classes
+/// untouched since `watermark` are skipped per pattern, exactly as
+/// [`Pattern::search_since`] does.
+pub fn search_all_since_parallel<L, N>(
+    patterns: &[&Pattern<L>],
+    egraph: &EGraph<L, N>,
+    watermark: u64,
+    n_threads: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    let programs: Vec<&Program<L>> = patterns.iter().map(|p| p.program()).collect();
+    crate::machine::search_programs_since_parallel(&programs, egraph, watermark, n_threads)
 }
 
 #[cfg(test)]

@@ -1,9 +1,25 @@
 //! The [`Runner`]: drives equality saturation until saturation or a limit
 //! is hit, recording per-iteration statistics.
 
-use crate::{Analysis, EGraph, Language, RecExpr, Rewrite};
+use crate::pattern::search_all_since_parallel;
+use crate::{Analysis, EGraph, Language, Pattern, RecExpr, Rewrite};
 use std::fmt::Debug;
 use std::time::{Duration, Instant};
+
+/// Reads the `TENSAT_SEARCH_THREADS` environment variable: the number of
+/// threads the e-matching search phase should use. Returns `None` when the
+/// variable is unset or does not parse to a positive integer.
+///
+/// [`Runner`] consults this at construction (so CI can force the parallel
+/// search path without code changes), as does
+/// `tensat_core::ExplorationConfig`'s default.
+pub fn search_threads_from_env() -> Option<usize> {
+    parse_search_threads(&std::env::var("TENSAT_SEARCH_THREADS").ok()?)
+}
+
+fn parse_search_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse().ok().filter(|&n| n >= 1)
+}
 
 /// Why the runner stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,25 +97,19 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     node_limit: usize,
     time_limit: Duration,
     incremental: bool,
+    search_threads: usize,
 }
 
 impl<L: Language, N: Analysis<L>> Runner<L, N> {
     /// Creates a runner with an empty e-graph and default limits
-    /// (30 iterations, 10 000 e-nodes, 5 seconds).
+    /// (30 iterations, 10 000 e-nodes, 5 seconds). The search thread count
+    /// defaults to the `TENSAT_SEARCH_THREADS` environment variable if set
+    /// (see [`search_threads_from_env`]), otherwise 1 (sequential).
     pub fn new(analysis: N) -> Self {
-        Runner {
-            egraph: EGraph::new(analysis),
-            roots: vec![],
-            iterations: vec![],
-            stop_reason: None,
-            iter_limit: 30,
-            node_limit: 10_000,
-            time_limit: Duration::from_secs(5),
-            incremental: false,
-        }
+        Self::with_egraph(EGraph::new(analysis))
     }
 
-    /// Wraps an already-populated e-graph.
+    /// Wraps an already-populated e-graph (defaults as for [`Runner::new`]).
     pub fn with_egraph(egraph: EGraph<L, N>) -> Self {
         Runner {
             egraph,
@@ -110,6 +120,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             node_limit: 10_000,
             time_limit: Duration::from_secs(5),
             incremental: false,
+            search_threads: search_threads_from_env().unwrap_or(1),
         }
     }
 
@@ -161,9 +172,74 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Sets the number of threads used by the e-matching search phase.
+    /// `1` (the default unless `TENSAT_SEARCH_THREADS` is set) runs the
+    /// sequential driver; larger values shard candidate classes across
+    /// scoped threads via [`crate::search_all_parallel`] with bit-identical
+    /// results, so this only changes wall-clock time, never the outcome.
+    pub fn with_search_threads(mut self, n_threads: usize) -> Self {
+        self.search_threads = n_threads.max(1);
+        self
+    }
+}
+
+impl<L, N> Runner<L, N>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
     /// Runs equality saturation with the given rewrites until saturation or
     /// a limit is reached. Returns the stop reason.
+    ///
+    /// (The `Sync` bounds let the search phase shard the read-only e-graph
+    /// across threads when [`Runner::with_search_threads`] is above 1; every
+    /// [`Language`] and [`Analysis`] in this workspace is plain data and
+    /// satisfies them. A non-`Sync` language or analysis can still saturate
+    /// via [`Runner::run_sequential`].)
     pub fn run(&mut self, rewrites: &[Rewrite<L, N>]) -> StopReason {
+        let n_threads = self.search_threads;
+        self.run_with_search(rewrites, |egraph, rewrites, watermark| {
+            // The batch driver dispatches itself: with one thread it is the
+            // per-pattern sequential search verbatim (and a watermark of 0
+            // is a full search, so `None` needs no special case).
+            let patterns: Vec<&Pattern<L>> = rewrites.iter().map(|rw| &rw.searcher).collect();
+            search_all_since_parallel(&patterns, egraph, watermark.unwrap_or(0), n_threads)
+        })
+    }
+}
+
+/// One full-batch sequential search: the pre-parallel search phase.
+fn sequential_search<L: Language, N: Analysis<L>>(
+    egraph: &EGraph<L, N>,
+    rewrites: &[Rewrite<L, N>],
+    watermark: Option<u64>,
+) -> Vec<Vec<crate::SearchMatches>> {
+    rewrites
+        .iter()
+        .map(|rw| match watermark {
+            Some(w) => rw.search_since(egraph, w),
+            None => rw.search(egraph),
+        })
+        .collect()
+}
+
+impl<L: Language, N: Analysis<L>> Runner<L, N> {
+    /// Like [`Runner::run`] with one search thread, but without the `Sync`
+    /// bounds: languages or analyses containing non-`Sync` data (e.g. `Rc`
+    /// caches) can still run equality saturation — they just cannot shard
+    /// the search. [`Runner::with_search_threads`] is ignored here.
+    pub fn run_sequential(&mut self, rewrites: &[Rewrite<L, N>]) -> StopReason {
+        self.run_with_search(rewrites, sequential_search)
+    }
+
+    /// The saturation loop, parameterized over the search phase (which is
+    /// the only part that needs `Sync` to parallelize).
+    fn run_with_search(
+        &mut self,
+        rewrites: &[Rewrite<L, N>],
+        search: impl Fn(&EGraph<L, N>, &[Rewrite<L, N>], Option<u64>) -> Vec<Vec<crate::SearchMatches>>,
+    ) -> StopReason {
         let start = Instant::now();
         self.egraph.rebuild();
         let mut watermark: Option<u64> = None;
@@ -179,13 +255,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             }
 
             let search_start = Instant::now();
-            let all_matches: Vec<_> = rewrites
-                .iter()
-                .map(|rw| match watermark {
-                    Some(w) => rw.search_since(&self.egraph, w),
-                    None => rw.search(&self.egraph),
-                })
-                .collect();
+            let all_matches = search(&self.egraph, rewrites, watermark);
             let search_time = search_start.elapsed();
             let total_matches: usize = all_matches
                 .iter()
@@ -239,7 +309,9 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self.stop_reason = Some(reason.clone());
         reason
     }
+}
 
+impl<L: Language, N: Analysis<L>> Runner<L, N> {
     /// Total time spent across recorded iterations.
     pub fn total_time(&self) -> Duration {
         self.iterations
@@ -438,6 +510,97 @@ mod tests {
         let (cost, best) = ex.find_best(runner.roots[0]).unwrap();
         assert_eq!(cost, 1);
         assert_eq!(best.to_string(), "a");
+    }
+
+    /// Parallel search is bit-identical to sequential search, so a run with
+    /// threads must reach the same fixpoint via the same iteration history.
+    #[test]
+    fn parallel_search_run_matches_sequential_run() {
+        let mut sequential = Runner::new(())
+            .with_expr(&start_expr())
+            .with_search_threads(1);
+        let mut parallel = Runner::new(())
+            .with_expr(&start_expr())
+            .with_search_threads(4);
+        assert_eq!(sequential.run(&rules()), StopReason::Saturated);
+        assert_eq!(parallel.run(&rules()), StopReason::Saturated);
+        assert_eq!(sequential.iterations.len(), parallel.iterations.len());
+        for (s, p) in sequential.iterations.iter().zip(&parallel.iterations) {
+            assert_eq!(s.applied, p.applied);
+            assert_eq!(s.total_matches, p.total_matches);
+            assert_eq!(s.egraph_nodes, p.egraph_nodes);
+            assert_eq!(s.egraph_classes, p.egraph_classes);
+        }
+        let ex = Extractor::new(&parallel.egraph, AstSize);
+        let (cost, best) = ex.find_best(parallel.roots[0]).unwrap();
+        assert_eq!((cost, best.to_string().as_str()), (1, "a"));
+    }
+
+    /// Threads compose with watermark-restricted incremental search: the
+    /// parallel driver applies the same touched-class filter.
+    #[test]
+    fn parallel_incremental_search_reaches_same_result() {
+        let mut runner = Runner::new(())
+            .with_expr(&start_expr())
+            .with_incremental_search(true)
+            .with_search_threads(3);
+        assert_eq!(runner.run(&rules()), StopReason::Saturated);
+        let ex = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = ex.find_best(runner.roots[0]).unwrap();
+        assert_eq!((cost, best.to_string().as_str()), (1, "a"));
+    }
+
+    #[test]
+    fn search_threads_env_parsing() {
+        // Exercise the parser directly rather than via `set_var` (tests run
+        // concurrently; mutating the environment would race with other
+        // `Runner::new` calls reading it).
+        assert_eq!(parse_search_threads("4"), Some(4));
+        assert_eq!(parse_search_threads(" 16\n"), Some(16));
+        assert_eq!(parse_search_threads("0"), None, "0 threads is rejected");
+        assert_eq!(parse_search_threads("auto"), None);
+        assert_eq!(parse_search_threads(""), None);
+    }
+
+    /// `run_sequential` must keep working for non-`Sync` analyses (the
+    /// `Sync` bounds on `run` exist only for the sharded search phase).
+    #[test]
+    fn non_sync_analysis_can_run_sequentially() {
+        use crate::DidMerge;
+        use std::rc::Rc;
+
+        /// Analysis whose data is an `Rc` — deliberately not `Sync`.
+        #[derive(Clone, Default)]
+        struct RcAnalysis;
+        impl Analysis<Math> for RcAnalysis {
+            type Data = Rc<usize>;
+            fn make(_egraph: &EGraph<Math, Self>, enode: &Math) -> Self::Data {
+                Rc::new(enode.children().len())
+            }
+            fn merge(&mut self, _to: &mut Self::Data, _from: Self::Data) -> DidMerge {
+                DidMerge(false, false)
+            }
+        }
+
+        let comm: Rewrite<Math, RcAnalysis> = Rewrite::new(
+            "commute-add",
+            pattern(|p| {
+                let x = p.add(var("x"));
+                let y = p.add(var("y"));
+                p.add(node(Math::Add([x, y])));
+            }),
+            pattern(|p| {
+                let y = p.add(var("y"));
+                let x = p.add(var("x"));
+                p.add(node(Math::Add([x, y])));
+            }),
+        );
+        let mut e = RecExpr::default();
+        let a = e.add(Math::Sym(Symbol::new("a")));
+        let b = e.add(Math::Sym(Symbol::new("b")));
+        e.add(Math::Add([a, b]));
+        let mut runner = Runner::new(RcAnalysis).with_expr(&e);
+        assert_eq!(runner.run_sequential(&[comm]), StopReason::Saturated);
     }
 
     #[test]

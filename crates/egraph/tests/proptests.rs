@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use tensat_egraph::doctest_lang::SimpleMath as Math;
 use tensat_egraph::{
-    AstSize, EGraph, ENodeOrVar, Extractor, Id, Pattern, RecExpr, SearchMatches, Symbol, Var,
+    search_all_parallel, AstSize, EGraph, ENodeOrVar, Extractor, Id, Pattern, RecExpr,
+    SearchMatches, Symbol, Var,
 };
 
 /// A random expression generator: a sequence of build steps referencing
@@ -169,6 +170,67 @@ proptest! {
         let machine = pattern.search(&eg);
         let naive = pattern.search_naive(&eg);
         prop_assert_eq!(normalize(&eg, &machine), normalize(&eg, &naive));
+    }
+
+    /// Differential test of the parallel search driver against the
+    /// sequential machine, mirroring the machine-vs-naive oracle above:
+    /// on random e-graphs (with random unions and a random filter set) and
+    /// random patterns — including non-linear ones — `search_parallel(n)`
+    /// must return *bit-identical* match lists (same class order, same
+    /// substitution order) for every thread count 1..=8, not merely
+    /// set-equal ones.
+    #[test]
+    fn parallel_search_is_bit_identical_to_sequential(
+        steps in steps_strategy(40),
+        pat_steps in pattern_strategy(12),
+        n_threads in 1usize..=8,
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 0..6),
+        filter_picks in prop::collection::vec(any::<usize>(), 0..6)
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let class_ids: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        for (a, b) in unions {
+            let a = class_ids[a % class_ids.len()];
+            let b = class_ids[b % class_ids.len()];
+            eg.union(a, b);
+        }
+        eg.rebuild();
+        let all_nodes: Vec<Math> = eg.classes().flat_map(|c| c.iter().cloned()).collect();
+        for pick in filter_picks {
+            let node = all_nodes[pick % all_nodes.len()].clone();
+            eg.filter_node(&node);
+        }
+        let pattern = build_pattern(&pat_steps);
+        let sequential = pattern.search(&eg);
+        let parallel = pattern.search_parallel(&eg, n_threads);
+        prop_assert_eq!(&sequential, &parallel);
+        // And therefore also set-equal to the naive oracle.
+        prop_assert_eq!(normalize(&eg, &parallel), normalize(&eg, &pattern.search_naive(&eg)));
+    }
+
+    /// The batch driver (one shared work queue across many patterns) must
+    /// hand each pattern exactly the match list its standalone sequential
+    /// search produces, in pattern order.
+    #[test]
+    fn batch_parallel_search_matches_per_pattern_search(
+        steps in steps_strategy(40),
+        pats in prop::collection::vec(pattern_strategy(10), 1..4),
+        n_threads in 1usize..=8
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let patterns: Vec<Pattern<Math>> = pats.iter().map(|p| build_pattern(p)).collect();
+        let refs: Vec<&Pattern<Math>> = patterns.iter().collect();
+        let batch = search_all_parallel(&refs, &eg, n_threads);
+        prop_assert_eq!(batch.len(), patterns.len());
+        for (pattern, got) in patterns.iter().zip(&batch) {
+            prop_assert_eq!(&pattern.search(&eg), got);
+        }
     }
 
     /// Honesty of watermark-restricted incremental search: after arbitrary
