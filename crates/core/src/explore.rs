@@ -3,13 +3,14 @@
 //! filtering, until saturation or a limit is reached.
 
 use crate::cycles::{remove_all_cycles, would_create_cycle, DescendantsMap};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 use tensat_egraph::{
-    search_all_parallel, search_threads_from_env, ENodeOrVar, Id, Pattern, RecExpr, Subst, Var,
+    search_all_guarded_parallel, search_threads_from_env, ENodeOrVar, GuardedProgram, Id, Pattern,
+    RecExpr, SearchQuery, Subst, Var,
 };
-use tensat_ir::{TensorEGraph, TensorLang};
-use tensat_rules::{pattern_is_valid, MultiPatternRule, TensorRewrite};
+use tensat_ir::{DataKind, TensorData, TensorEGraph, TensorLang};
+use tensat_rules::{guard_for_kinds, pattern_is_valid, MultiPatternRule, TensorRewrite};
 
 /// Which cycle-filtering algorithm to run during exploration (paper §5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +164,69 @@ struct MultiRuleCompiled {
     srcs: Vec<(usize, HashMap<Var, Var>)>,
 }
 
+/// Builds one guarded e-matching program per unique canonical multi-pattern
+/// source, pushing the rules' target-implied per-variable constraints
+/// ([`MultiPatternRule::target_guard_kinds`]) into the machine.
+///
+/// Canonical sources are deduplicated *across* rules, so a canonical
+/// variable may stand for different original variables in different rules.
+/// It gets a guard only if **every** (rule, source) pair searching through
+/// this canonical pattern implies one — i.e. its original variable occurs
+/// in at least one of that rule's targets — and the kind constraint is the
+/// *intersection* of the referrers' constraints (validity, their common
+/// floor, is always required). A match pruned by such a guard binds, for
+/// every referrer, a variable whose target inference is guaranteed invalid,
+/// so no Cartesian combination containing it could ever fire.
+fn compile_multi_guards(
+    unique_patterns: &[Pattern<TensorLang>],
+    compiled: &[MultiRuleCompiled],
+) -> Vec<GuardedProgram<TensorLang, TensorData>> {
+    // Per unique pattern: canonical var -> Some(intersected kinds) while
+    // every referrer so far guards it, or None once one referrer cannot.
+    let mut info: Vec<Option<HashMap<Var, Option<BTreeSet<DataKind>>>>> =
+        vec![None; unique_patterns.len()];
+    for mrule in compiled {
+        let rule_kinds = mrule.rule.target_guard_kinds();
+        for (idx, back) in &mrule.srcs {
+            match &mut info[*idx] {
+                slot @ None => {
+                    *slot = Some(
+                        back.iter()
+                            .map(|(canon, orig)| (*canon, rule_kinds.get(orig).cloned()))
+                            .collect(),
+                    );
+                }
+                Some(existing) => {
+                    for (canon, orig) in back {
+                        let entry = existing
+                            .get_mut(canon)
+                            .expect("same canonical pattern has the same variables");
+                        *entry = match (entry.take(), rule_kinds.get(orig)) {
+                            (Some(a), Some(b)) => Some(a.intersection(b).copied().collect()),
+                            _ => None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+    unique_patterns
+        .iter()
+        .zip(info)
+        .map(|(pattern, info)| {
+            let mut guards: Vec<(Var, tensat_rules::TensorGuard)> = info
+                .into_iter()
+                .flatten()
+                .filter_map(|(var, kinds)| kinds.map(|k| (var, guard_for_kinds(&k))))
+                .collect();
+            // HashMap iteration order is arbitrary; sort so the compiled
+            // guard table (and pred indices) is deterministic across runs.
+            guards.sort_by_key(|(var, _)| *var);
+            GuardedProgram::compile(&pattern.ast, &guards)
+        })
+        .collect()
+}
+
 /// Runs the exploration phase on an e-graph already seeded with the input
 /// graph. Returns statistics; the e-graph is grown in place.
 pub fn explore(
@@ -203,7 +267,11 @@ pub fn explore(
         })
         .collect();
     // The deduplicated canonical sources are searched once per iteration:
-    // compile their e-matching programs before the loop starts.
+    // compile their e-matching programs — both the guarded ones (with the
+    // rules' target-implied analysis guards pushed into the machine) and
+    // the plain ones (used for the final multi iteration, see below) —
+    // before the loop starts.
+    let multi_guarded = compile_multi_guards(&unique_patterns, &compiled);
     for pattern in &unique_patterns {
         pattern.precompile();
     }
@@ -236,14 +304,35 @@ pub fn explore(
         // sharded search driver, so a hot rule's candidate chunks spread
         // over all `search_threads` threads; with 1 thread the driver is
         // the sequential machine verbatim, and the match lists are
-        // bit-identical either way.
+        // bit-identical either way. Each query carries its analysis-guard
+        // table (single rules: the per-variable part of their shape check;
+        // multi sources: the intersected target-implied constraints), so
+        // inadmissible bindings die inside the machine.
         let do_multi = iter < config.k_multi;
-        let mut searchers: Vec<&Pattern<TensorLang>> =
-            single_rules.iter().map(|rw| &rw.searcher).collect();
+        let mut queries: Vec<SearchQuery<'_, TensorLang, TensorData>> =
+            single_rules.iter().map(|rw| rw.searcher_query()).collect();
         if do_multi {
-            searchers.extend(unique_patterns.iter());
+            // Guards evaluate at search time while `apply_combo` validates
+            // at apply time, and unions performed earlier in the same
+            // iteration (single-pattern applications run first) can make a
+            // binding admissible in between. Within the multi-pattern
+            // window a pruned-then-admissible match is simply re-found
+            // next iteration; in the *last* multi iteration there is no
+            // next chance — multi rules are disabled afterwards — so that
+            // final search runs unguarded and leaves admissibility
+            // entirely to the apply-time check, exactly the pre-guard
+            // behavior. (Single-pattern rules need no such cutoff: they
+            // are searched every iteration, and the saturation check only
+            // declares a fixpoint when an iteration changed nothing at
+            // all.)
+            if iter + 1 == config.k_multi {
+                queries.extend(unique_patterns.iter().map(|p| (p.program(), &[] as &[_])));
+            } else {
+                queries.extend(multi_guarded.iter().map(|g| g.query()));
+            }
         }
-        let mut single_matches = search_all_parallel(&searchers, egraph, config.search_threads);
+        let mut single_matches =
+            search_all_guarded_parallel(&queries, egraph, config.search_threads);
         let multi_matches: Vec<_> = if do_multi {
             single_matches.split_off(single_rules.len())
         } else {
@@ -524,6 +613,86 @@ mod tests {
         c.insert(Var::new("z"), other);
         let merged = merge_substs(&eg, &a, &c).unwrap();
         assert_eq!(merged.len(), 2);
+    }
+
+    /// The canonical multi-pattern sources are deduplicated across rules,
+    /// so a canonical variable is guarded only when *every* referring
+    /// (rule, source) pair implies a guard for it, with intersected kinds.
+    #[test]
+    fn multi_guards_intersect_across_rules_sharing_a_canonical_source() {
+        // Both stock matmul rules share the canonical source
+        // (matmul ?c0 ?c1 ?c2) and both use all their source variables in
+        // their targets: ?c0 (activation) gets a validity-only guard, the
+        // two operands get tensor guards.
+        let rules = multi_rules();
+        let compiled: Vec<MultiRuleCompiled> = {
+            // Mirror the compilation explore() performs.
+            let mut unique: Vec<Pattern<TensorLang>> = vec![];
+            let mut index: HashMap<String, usize> = HashMap::new();
+            let compiled: Vec<MultiRuleCompiled> = rules
+                .iter()
+                .map(|rule| MultiRuleCompiled {
+                    rule: rule.clone(),
+                    srcs: rule
+                        .srcs
+                        .iter()
+                        .map(|src| {
+                            let (canon, back) = canonicalize_pattern(src);
+                            let key = canon.to_string();
+                            let idx = *index.entry(key).or_insert_with(|| {
+                                unique.push(canon.clone());
+                                unique.len() - 1
+                            });
+                            (idx, back)
+                        })
+                        .collect(),
+                })
+                .collect();
+            let guarded = compile_multi_guards(&unique, &compiled);
+            // matmul + conv canonical sources; each fully guarded.
+            assert_eq!(guarded.len(), 2);
+            for g in &guarded {
+                assert_eq!(
+                    g.program().guard_vars().len(),
+                    g.guards().len(),
+                    "guard table parallel to guard vars"
+                );
+                assert!(
+                    !g.guards().is_empty(),
+                    "every stock rule guards its canonical source vars"
+                );
+            }
+            // The matmul source guards all three canonical variables.
+            let matmul = &guarded[0];
+            assert_eq!(matmul.program().guard_vars().len(), 3);
+            compiled
+        };
+
+        // A synthetic rule reusing the same canonical matmul source but
+        // never using ?w in its targets: the shared canonical variable for
+        // ?w loses its guard (intersection with "no guard" is "no guard").
+        let loose = MultiPatternRule::new(
+            "loose",
+            &["(matmul ?act ?x ?w)", "(matmul ?act ?x ?w2)"],
+            &["(relu ?x)", "(relu ?x)"],
+        );
+        let (canon, back) = canonicalize_pattern(&loose.srcs[0]);
+        let unique = vec![canon];
+        let both = vec![
+            MultiRuleCompiled {
+                rule: compiled[0].rule.clone(),
+                srcs: vec![compiled[0].srcs[0].clone()],
+            },
+            MultiRuleCompiled {
+                rule: loose.clone(),
+                srcs: vec![(0, back)],
+            },
+        ];
+        let guarded = compile_multi_guards(&unique, &both);
+        // ?c1 (?x in both rules) keeps a guard; ?c2 (?w1 / ?w) loses it
+        // because `loose` never mentions ?w in a target; ?c0 (?act) loses
+        // it for the same reason.
+        assert_eq!(guarded[0].program().guard_vars(), &[Var::new("c1")]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct OptimizerConfig {
     /// Threads used by the exploration search phase (1 = sequential; the
     /// parallel driver returns bit-identical matches, so this only affects
     /// wall-clock time). Defaults to
-    /// [`default_search_threads`](crate::default_search_threads).
+    /// [`default_search_threads`].
     pub search_threads: usize,
     /// Which extraction algorithm to use.
     pub extraction: ExtractionMode,
@@ -168,6 +168,32 @@ impl Optimizer {
 
     /// Optimizes a tensor graph: runs exploration then extraction and
     /// returns the best graph found together with statistics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tensat_core::{ExtractionMode, Optimizer, OptimizerConfig};
+    /// use tensat_ir::{Activation, GraphBuilder};
+    /// // Two relu-matmuls sharing an input: mergeable plus fusable.
+    /// let mut g = GraphBuilder::new();
+    /// let x = g.input("x", &[32, 64]);
+    /// let w1 = g.weight("w1", &[64, 64]);
+    /// let w2 = g.weight("w2", &[64, 64]);
+    /// let m1 = g.matmul_act(Activation::Relu, x, w1);
+    /// let m2 = g.matmul_act(Activation::Relu, x, w2);
+    /// let graph = g.finish(&[m1, m2]);
+    ///
+    /// let config = OptimizerConfig {
+    ///     extraction: ExtractionMode::Greedy, // fast for a doc example
+    ///     ..Default::default()
+    /// };
+    /// let result = Optimizer::new(config).optimize(&graph).unwrap();
+    /// assert!(result.optimized_cost <= result.original_cost);
+    /// assert!(result.speedup_percent() >= 0.0);
+    /// // The optimized graph is always well-typed.
+    /// let data = tensat_ir::infer_recexpr(&result.optimized_graph);
+    /// assert!(data.iter().all(|d| d.is_valid()));
+    /// ```
     ///
     /// # Errors
     ///

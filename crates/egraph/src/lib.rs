@@ -24,7 +24,10 @@
 //!   remains available as a differential-testing oracle
 //!   ([`Pattern::search_naive`]). Search can be sharded across threads
 //!   ([`Pattern::search_parallel`], [`search_all_parallel`]) with
-//!   bit-identical results.
+//!   bit-identical results, and rules can push per-variable *analysis
+//!   guards* into the machine ([`Rewrite::with_guards`],
+//!   [`GuardedProgram`]) so semantically dead bindings are pruned during
+//!   matching instead of by a post-match condition.
 //! * [`Runner`] — equality saturation with iteration / node / time limits
 //!   and saturation detection.
 //! * [`Extractor`] — greedy extraction with a pluggable [`CostFunction`].
@@ -67,9 +70,10 @@ pub use eclass::EClass;
 pub use egraph::EGraph;
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use language::{Id, Language, Symbol};
-pub use machine::{Instruction, Program, Reg};
+pub use machine::{GuardFn, GuardedProgram, Instruction, Program, Reg, SearchQuery};
 pub use pattern::{
-    search_all_parallel, search_all_since_parallel, ENodeOrVar, Pattern, SearchMatches, Subst, Var,
+    search_all_guarded_parallel, search_all_guarded_since_parallel, search_all_parallel,
+    search_all_since_parallel, ENodeOrVar, Pattern, SearchMatches, Subst, Var,
 };
 pub use recexpr::RecExpr;
 pub use rewrite::{Condition, Rewrite};
@@ -84,13 +88,18 @@ pub mod doctest_lang {
 
     /// Simple arithmetic language used in documentation examples.
     #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-    #[allow(missing_docs)]
     pub enum SimpleMath {
+        /// Integer literal.
         Num(i64),
+        /// Named symbolic constant.
         Sym(Symbol),
+        /// Addition; children: the two operands.
         Add([Id; 2]),
+        /// Multiplication; children: the two operands.
         Mul([Id; 2]),
+        /// Left shift; children: value and shift amount.
         Shl([Id; 2]),
+        /// Division; children: dividend and divisor.
         Div([Id; 2]),
     }
 

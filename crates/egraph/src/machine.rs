@@ -4,7 +4,7 @@
 //! with a single reusable register stack, instead of recursively cloning
 //! per-branch substitution vectors.
 //!
-//! Three instructions suffice:
+//! Four instructions suffice:
 //!
 //! * [`Instruction::Bind`] — enumerate the e-nodes of the class in register
 //!   `i` whose operator matches the pattern node, writing each node's
@@ -16,6 +16,13 @@
 //!   hash-cons lookups instead of enumerating class nodes; on a congruent
 //!   e-graph a ground term has exactly one realization, which is also
 //!   checked against the filter set node by node.
+//! * [`Instruction::Guard`] — *analysis-guided pruning*: fail unless a
+//!   predicate accepts the e-class **analysis data** of the class a pattern
+//!   variable is bound to. Guards are emitted right after the register is
+//!   filled, so a semantically dead binding (e.g. a tensor variable bound to
+//!   a class with invalid shape data) kills the whole branch before any
+//!   deeper `Bind` fans out — instead of a post-match `Condition` discarding
+//!   the finished substitution. See [`GuardedProgram`].
 //!
 //! Search additionally consults the e-graph's operator index
 //! ([`EGraph::classes_with_op`]): only classes containing at least one node
@@ -33,10 +40,29 @@ use crate::{Analysis, EGraph, ENodeOrVar, Id, Language, RecExpr, SearchMatches, 
 use std::collections::{HashMap, VecDeque};
 use std::mem::Discriminant;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A virtual register holding an e-class id during matching.
 pub type Reg = usize;
+
+/// An analysis guard predicate: inspects the e-class analysis data (`D` is
+/// the [`Analysis::Data`] type) of the class a pattern variable is bound to
+/// and returns whether the binding can possibly survive the rule's side
+/// condition. Evaluated by [`Instruction::Guard`] *during* matching, so a
+/// rejected binding is pruned before deeper `Bind` instructions fan out.
+///
+/// For guarded search to be equivalent to unguarded-then-filtered search
+/// (the invariant the proptests pin down), a guard must be a *pure* function
+/// of the class data it is given.
+pub type GuardFn<D> = Arc<dyn Fn(&D) -> bool + Send + Sync>;
+
+/// A `(program, guard table)` pair, the unit the batch search drivers take
+/// (see [`crate::search_all_guarded_parallel`]). An empty table means the
+/// program is unguarded; a guarded program's table must be parallel to its
+/// [`Program::guard_vars`]. Obtained from
+/// [`GuardedProgram::query`] or
+/// [`Rewrite::searcher_query`](crate::Rewrite::searcher_query).
+pub type SearchQuery<'a, L, D> = (&'a Program<L>, &'a [GuardFn<D>]);
 
 /// One step of a compiled pattern program.
 #[derive(Debug, Clone)]
@@ -67,6 +93,18 @@ pub enum Instruction<L> {
         /// Register the term's class must equal.
         i: Reg,
     },
+    /// Fail unless the guard predicate at index `pred` (in the guard table
+    /// supplied at search time) accepts the analysis data of the e-class
+    /// held by register `i`. Emitted for guarded pattern variables right
+    /// after the variable first claims its register, so the branch dies
+    /// before deeper binds run.
+    Guard {
+        /// Register holding the class whose analysis data is inspected.
+        i: Reg,
+        /// Index into the guard table (parallel to
+        /// [`Program::guard_vars`]).
+        pred: usize,
+    },
 }
 
 /// A pattern compiled to a linear instruction sequence.
@@ -82,15 +120,34 @@ pub struct Program<L> {
     /// Operator discriminant of the pattern root, if the root is a concrete
     /// node — used to restrict search via the e-graph's operator index.
     root_op: Option<Discriminant<L>>,
+    /// The guarded variables, in guard-table order: the `pred` field of
+    /// every emitted [`Instruction::Guard`] indexes into this list, and the
+    /// guard table supplied at search time must be parallel to it.
+    guard_vars: Vec<Var>,
 }
 
 impl<L: Language> Program<L> {
-    /// Compiles a pattern AST into an instruction program.
+    /// Compiles a pattern AST into an instruction program (without guards).
     ///
     /// # Panics
     ///
     /// Panics if the pattern is empty.
     pub fn compile(pattern: &RecExpr<ENodeOrVar<L>>) -> Self {
+        Self::compile_guarded(pattern, &[])
+    }
+
+    /// Compiles a pattern AST into an instruction program that additionally
+    /// checks an analysis guard on each of `guard_vars` (see
+    /// [`Instruction::Guard`]). The emitted `Guard` instructions index into
+    /// a guard table that must be supplied — parallel to `guard_vars` — at
+    /// search time ([`Program::search_guarded`]); [`GuardedProgram`] bundles
+    /// the two. Guarded variables that do not occur in the pattern emit no
+    /// instruction (their table slot is simply never consulted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn compile_guarded(pattern: &RecExpr<ENodeOrVar<L>>, guard_vars: &[Var]) -> Self {
         assert!(!pattern.is_empty(), "cannot compile an empty pattern");
         let root = pattern.root();
 
@@ -106,37 +163,65 @@ impl<L: Language> Program<L> {
 
         let mut instructions = vec![];
         let mut v2r: HashMap<Var, Reg> = HashMap::new();
-        let mut todo: VecDeque<(Reg, Id)> = VecDeque::from([(0, root)]);
+        let mut todo: VecDeque<(Reg, Id)> = VecDeque::new();
         let mut next_reg: Reg = 1;
+        match &pattern[root] {
+            ENodeOrVar::Var(v) => {
+                // A variable root claims register 0 (the candidate class);
+                // its guard, if any, is the very first instruction.
+                v2r.insert(*v, 0);
+                if let Some(pred) = guard_vars.iter().position(|u| u == v) {
+                    instructions.push(Instruction::Guard { i: 0, pred });
+                }
+            }
+            ENodeOrVar::ENode(_) => todo.push_back((0, root)),
+        }
         while let Some((reg, pat_id)) = todo.pop_front() {
-            match &pattern[pat_id] {
-                ENodeOrVar::Var(v) => match v2r.get(v) {
-                    Some(&bound) => instructions.push(Instruction::Compare { i: bound, j: reg }),
-                    None => {
-                        v2r.insert(*v, reg);
-                    }
-                },
-                ENodeOrVar::ENode(node) => {
-                    // Ground subterms become O(term)-time hash-cons lookups.
-                    // The root stays a Bind so per-candidate work in the
-                    // search loop does not repeat a whole-term lookup.
-                    if ground[usize::from(pat_id)] && pat_id != root {
-                        instructions.push(Instruction::Lookup {
-                            term: ground_term(pattern, pat_id),
-                            i: reg,
-                        });
-                    } else {
-                        let out = next_reg;
-                        next_reg += node.children().len();
-                        instructions.push(Instruction::Bind {
-                            node: node.clone(),
-                            i: reg,
-                            out,
-                        });
-                        for (k, &child) in node.children().iter().enumerate() {
-                            todo.push_back((out + k, child));
+            let ENodeOrVar::ENode(node) = &pattern[pat_id] else {
+                unreachable!("only concrete nodes are queued");
+            };
+            // Ground subterms become O(term)-time hash-cons lookups.
+            // The root stays a Bind so per-candidate work in the
+            // search loop does not repeat a whole-term lookup.
+            if ground[usize::from(pat_id)] && pat_id != root {
+                instructions.push(Instruction::Lookup {
+                    term: ground_term(pattern, pat_id),
+                    i: reg,
+                });
+                continue;
+            }
+            let out = next_reg;
+            next_reg += node.children().len();
+            instructions.push(Instruction::Bind {
+                node: node.clone(),
+                i: reg,
+                out,
+            });
+            // Variable children are resolved here, immediately after the
+            // Bind that fills their registers: a first occurrence claims
+            // the register and emits its guard right away — before any
+            // deeper Bind fans out — and a repeat occurrence emits the
+            // non-linearity Compare. Concrete children are queued for BFS
+            // processing. (The claiming order is identical to the previous
+            // pop-time scheme — BFS pops positions in enqueue order — so
+            // register assignments and match results are unchanged; only
+            // Guard/Compare instructions move earlier in the stream.)
+            for (k, &child) in node.children().iter().enumerate() {
+                let child_reg = out + k;
+                match &pattern[child] {
+                    ENodeOrVar::Var(v) => match v2r.get(v) {
+                        Some(&bound) => instructions.push(Instruction::Compare {
+                            i: bound,
+                            j: child_reg,
+                        }),
+                        None => {
+                            v2r.insert(*v, child_reg);
+                            if let Some(pred) = guard_vars.iter().position(|u| u == v) {
+                                instructions.push(Instruction::Guard { i: child_reg, pred });
+                            }
                         }
-                    }
+                    },
+                    ENodeOrVar::ENode(_) => todo.push_back((child_reg, child)),
                 }
             }
         }
@@ -168,12 +253,20 @@ impl<L: Language> Program<L> {
             instructions,
             subst_template,
             root_op,
+            guard_vars: guard_vars.to_vec(),
         }
     }
 
     /// The compiled instruction sequence.
     pub fn instructions(&self) -> &[Instruction<L>] {
         &self.instructions
+    }
+
+    /// The guarded variables in guard-table order: slot `pred` of the guard
+    /// table supplied at search time is the predicate for `guard_vars()[pred]`.
+    /// Empty for programs compiled without guards.
+    pub fn guard_vars(&self) -> &[Var] {
+        &self.guard_vars
     }
 
     /// The operator discriminant of the pattern root, if it is a concrete
@@ -188,18 +281,58 @@ impl<L: Language> Program<L> {
     /// # Panics
     ///
     /// Debug-asserts that the e-graph is clean: searching a dirty e-graph
-    /// silently returns stale or incomplete matches.
+    /// silently returns stale or incomplete matches. Panics if the program
+    /// was compiled with guards ([`Program::compile_guarded`]) — those
+    /// require the guard table, via [`Program::search_guarded`] or
+    /// [`GuardedProgram`].
     pub fn search<N: Analysis<L>>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches> {
         self.search_since(egraph, 0)
     }
 
+    /// Like [`Program::search`], but every guarded variable's candidate
+    /// binding must pass the corresponding predicate of `guards` (parallel
+    /// to [`Program::guard_vars`]) — evaluated mid-match by
+    /// [`Instruction::Guard`], pruning the branch before deeper binds run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guards` does not match the compiled guard variables;
+    /// debug-asserts that the e-graph is clean (see [`Program::search`]).
+    pub fn search_guarded<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        guards: &[GuardFn<N::Data>],
+    ) -> Vec<SearchMatches> {
+        self.search_since_guarded(egraph, 0, guards)
+    }
+
     /// Like [`Program::search`], but skips classes untouched since the
     /// given watermark (a snapshot of [`EGraph::watermark`]).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Program::search`].
     pub fn search_since<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
         watermark: u64,
     ) -> Vec<SearchMatches> {
+        self.search_since_guarded(egraph, watermark, &[])
+    }
+
+    /// Guarded, watermark-restricted search; see [`Program::search_guarded`]
+    /// and [`Program::search_since`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Program::search_guarded`].
+    pub fn search_since_guarded<N: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, N>,
+        watermark: u64,
+        guards: &[GuardFn<N::Data>],
+    ) -> Vec<SearchMatches> {
+        self.check_guard_table(guards.len());
         debug_assert!(
             egraph.is_clean(),
             "pattern search on a dirty e-graph returns stale matches; call rebuild() first"
@@ -213,7 +346,7 @@ impl<L: Language> Program<L> {
                     if egraph.eclass(id).last_touched() < watermark {
                         continue;
                     }
-                    if let Some(m) = self.search_class(egraph, &mut machine, &lookups, id) {
+                    if let Some(m) = self.search_class(egraph, &mut machine, &lookups, guards, id) {
                         out.push(m);
                     }
                 }
@@ -223,13 +356,30 @@ impl<L: Language> Program<L> {
                     if class.last_touched() < watermark {
                         continue;
                     }
-                    if let Some(m) = self.search_class(egraph, &mut machine, &lookups, class.id) {
+                    if let Some(m) =
+                        self.search_class(egraph, &mut machine, &lookups, guards, class.id)
+                    {
                         out.push(m);
                     }
                 }
             }
         }
         out
+    }
+
+    /// Asserts that the supplied guard table is parallel to the compiled
+    /// guard variables — a mismatch means guarded and unguarded entry
+    /// points were mixed up, which would silently change match sets.
+    fn check_guard_table(&self, supplied: usize) {
+        assert_eq!(
+            supplied,
+            self.guard_vars.len(),
+            "guard table size mismatch: program compiled with {} guarded variable(s), \
+             search called with {} predicate(s) — use GuardedProgram (or the \
+             *_guarded entry points) for guard-compiled programs",
+            self.guard_vars.len(),
+            supplied,
+        );
     }
 
     /// Parallel version of [`Program::search`]: candidate classes are split
@@ -264,7 +414,31 @@ impl<L: Language> Program<L> {
         N: Analysis<L> + Sync,
         N::Data: Sync,
     {
-        let mut out = search_programs_since_parallel(&[self], egraph, watermark, n_threads);
+        self.search_since_guarded_parallel(egraph, watermark, &[], n_threads)
+    }
+
+    /// Guarded version of [`Program::search_since_parallel`]: the parallel
+    /// sharded driver with a guard table (see [`Program::search_guarded`]).
+    /// Bit-identical to [`Program::search_since_guarded`] for every thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Program::search_guarded`].
+    pub fn search_since_guarded_parallel<N>(
+        &self,
+        egraph: &EGraph<L, N>,
+        watermark: u64,
+        guards: &[GuardFn<N::Data>],
+        n_threads: usize,
+    ) -> Vec<SearchMatches>
+    where
+        L: Sync,
+        N: Analysis<L> + Sync,
+        N::Data: Sync,
+    {
+        let mut out =
+            search_programs_since_parallel(&[(self, guards)], egraph, watermark, n_threads);
         out.pop().expect("one program in, one match list out")
     }
 
@@ -298,13 +472,14 @@ impl<L: Language> Program<L> {
         egraph: &EGraph<L, N>,
         eclass: Id,
     ) -> Option<SearchMatches> {
+        self.check_guard_table(0);
         debug_assert!(
             egraph.is_clean(),
             "pattern search on a dirty e-graph returns stale matches; call rebuild() first"
         );
         let mut machine = Machine::default();
         let lookups = machine_lookups(egraph, &self.instructions);
-        self.search_class(egraph, &mut machine, &lookups, egraph.find(eclass))
+        self.search_class(egraph, &mut machine, &lookups, &[], egraph.find(eclass))
     }
 
     fn search_class<N: Analysis<L>>(
@@ -312,17 +487,21 @@ impl<L: Language> Program<L> {
         egraph: &EGraph<L, N>,
         machine: &mut Machine,
         lookups: &[Option<Id>],
+        guards: &[GuardFn<N::Data>],
         eclass: Id,
     ) -> Option<SearchMatches> {
         machine.regs.clear();
         machine.regs.push(eclass);
         let mut substs = vec![];
         machine.run(
-            egraph,
-            &self.instructions,
+            &MachineCtx {
+                egraph,
+                instructions: &self.instructions,
+                lookups,
+                guards,
+                subst_template: &self.subst_template,
+            },
             0,
-            lookups,
-            &self.subst_template,
             &mut substs,
         );
         // Distinct derivations can in principle yield the same binding;
@@ -333,27 +512,143 @@ impl<L: Language> Program<L> {
     }
 }
 
+/// A compiled *guarded* searcher: a pattern recompiled with
+/// [`Instruction::Guard`] instructions plus the guard-predicate table those
+/// instructions index (`D` is the e-class analysis data type,
+/// [`Analysis::Data`]).
+///
+/// Guarded search returns exactly the matches of the plain program whose
+/// guarded variables all bind to classes whose analysis data passes the
+/// corresponding predicate — but prunes failing branches *inside* the
+/// machine, before deeper binds fan out, instead of filtering finished
+/// substitutions afterwards. The equivalence (and bit-identical parallel
+/// behavior) is pinned down by proptests in `tests/proptests.rs`.
+///
+/// Rewrites carry one of these when constructed with
+/// [`Rewrite::with_guards`](crate::Rewrite::with_guards).
+#[derive(Clone)]
+pub struct GuardedProgram<L, D> {
+    program: Program<L>,
+    guards: Vec<GuardFn<D>>,
+}
+
+impl<L: Language, D> GuardedProgram<L, D> {
+    /// Compiles a pattern AST with one guard per listed variable. Multiple
+    /// entries for the same variable are conjoined; entries for variables
+    /// that do not occur in the pattern are kept in the table but never
+    /// consulted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty.
+    pub fn compile(pattern: &RecExpr<ENodeOrVar<L>>, guards: &[(Var, GuardFn<D>)]) -> Self
+    where
+        D: 'static,
+    {
+        let mut vars: Vec<Var> = vec![];
+        let mut preds: Vec<GuardFn<D>> = vec![];
+        for (var, pred) in guards {
+            match vars.iter().position(|v| v == var) {
+                Some(i) => {
+                    // Conjoin duplicate guards for one variable.
+                    let (a, b) = (preds[i].clone(), pred.clone());
+                    preds[i] = Arc::new(move |d: &D| a(d) && b(d));
+                }
+                None => {
+                    vars.push(*var);
+                    preds.push(pred.clone());
+                }
+            }
+        }
+        GuardedProgram {
+            program: Program::compile_guarded(pattern, &vars),
+            guards: preds,
+        }
+    }
+
+    /// The underlying guard-compiled program (its
+    /// [`Program::guard_vars`] is parallel to [`GuardedProgram::guards`]).
+    pub fn program(&self) -> &Program<L> {
+        &self.program
+    }
+
+    /// The guard-predicate table, parallel to
+    /// [`Program::guard_vars`](Program::guard_vars).
+    pub fn guards(&self) -> &[GuardFn<D>] {
+        &self.guards
+    }
+
+    /// The `(program, guard table)` pair in the shape the batch search
+    /// drivers take (see
+    /// [`search_all_guarded_parallel`](crate::search_all_guarded_parallel)).
+    pub fn query(&self) -> SearchQuery<'_, L, D> {
+        (&self.program, &self.guards)
+    }
+
+    /// Guarded search over the whole e-graph; see
+    /// [`Program::search_guarded`].
+    pub fn search<N>(&self, egraph: &EGraph<L, N>) -> Vec<SearchMatches>
+    where
+        N: Analysis<L, Data = D>,
+    {
+        self.program.search_guarded(egraph, &self.guards)
+    }
+
+    /// Guarded watermark-restricted search; see
+    /// [`Program::search_since_guarded`].
+    pub fn search_since<N>(&self, egraph: &EGraph<L, N>, watermark: u64) -> Vec<SearchMatches>
+    where
+        N: Analysis<L, Data = D>,
+    {
+        self.program
+            .search_since_guarded(egraph, watermark, &self.guards)
+    }
+
+    /// Guarded parallel search, bit-identical to [`GuardedProgram::search`];
+    /// see [`Program::search_since_guarded_parallel`].
+    pub fn search_parallel<N>(&self, egraph: &EGraph<L, N>, n_threads: usize) -> Vec<SearchMatches>
+    where
+        L: Sync,
+        N: Analysis<L, Data = D> + Sync,
+        D: Sync,
+    {
+        self.program
+            .search_since_guarded_parallel(egraph, 0, &self.guards, n_threads)
+    }
+}
+
+impl<L: Language + std::fmt::Debug, D> std::fmt::Debug for GuardedProgram<L, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardedProgram")
+            .field("program", &self.program)
+            .field("guards", &self.guards.len())
+            .finish()
+    }
+}
+
 /// Chunks per worker thread in the parallel search driver. More chunks than
 /// threads lets the atomic work queue rebalance when candidate classes have
 /// very uneven node counts (common: a few classes hold most of a model's
 /// operator nodes); contiguous chunks keep the merge deterministic.
 const CHUNKS_PER_THREAD: usize = 8;
 
-/// Searches several compiled programs over one e-graph, sharding all their
+/// Searches several compiled programs — each paired with its guard table
+/// (empty for unguarded programs) — over one e-graph, sharding all their
 /// candidate classes across `n_threads` scoped threads.
 ///
 /// Work items — contiguous chunks of each program's candidate list — go
 /// into a single atomic queue, so threads load-balance *across* programs:
 /// one hot rule's chunks spread over every thread instead of serializing
 /// the batch. Each thread owns a private register stack; the shared e-graph
-/// is only read (its search accessors are `Sync`-clean). Chunk outputs are
-/// written to per-item slots and merged in item order, which reproduces the
-/// sequential per-program match lists bit for bit.
+/// is only read (its search accessors are `Sync`-clean) and the guard
+/// predicates are pure `Sync` closures. Chunk outputs are written to
+/// per-item slots and merged in item order, which reproduces the sequential
+/// per-program match lists bit for bit.
 ///
 /// `n_threads <= 1` (or an empty candidate set) runs the sequential driver
 /// directly — identical behavior, no thread overhead.
 pub(crate) fn search_programs_since_parallel<L, N>(
-    programs: &[&Program<L>],
+    queries: &[SearchQuery<'_, L, N::Data>],
     egraph: &EGraph<L, N>,
     watermark: u64,
     n_threads: usize,
@@ -366,18 +661,21 @@ where
     // The sequential mode IS the sequential driver — no candidate vectors,
     // no duplicated iteration logic that could drift from `search_since`.
     if n_threads <= 1 {
-        return programs
+        return queries
             .iter()
-            .map(|p| p.search_since(egraph, watermark))
+            .map(|(p, g)| p.search_since_guarded(egraph, watermark, g))
             .collect();
+    }
+    for (p, g) in queries {
+        p.check_guard_table(g.len());
     }
     debug_assert!(
         egraph.is_clean(),
         "pattern search on a dirty e-graph returns stale matches; call rebuild() first"
     );
-    let candidates: Vec<Vec<Id>> = programs
+    let candidates: Vec<Vec<Id>> = queries
         .iter()
-        .map(|p| p.candidate_classes(egraph, watermark))
+        .map(|(p, _)| p.candidate_classes(egraph, watermark))
         .collect();
     let total: usize = candidates.iter().map(Vec::len).sum();
 
@@ -390,17 +688,17 @@ where
     let max_workers = std::thread::available_parallelism().map_or(4, |n| n.get() * 4);
     let n_threads = n_threads.min(max_workers).min(total.max(1));
     if n_threads == 1 {
-        return programs
+        return queries
             .iter()
-            .map(|p| p.search_since(egraph, watermark))
+            .map(|(p, g)| p.search_since_guarded(egraph, watermark, g))
             .collect();
     }
 
     // Ground-term lookups are a per-(program, e-graph) constant: resolve
     // them once here and share them read-only with every shard.
-    let lookups: Vec<Vec<Option<Id>>> = programs
+    let lookups: Vec<Vec<Option<Id>>> = queries
         .iter()
-        .map(|p| machine_lookups(egraph, &p.instructions))
+        .map(|(p, _)| machine_lookups(egraph, &p.instructions))
         .collect();
 
     let chunk_size = total.div_ceil(n_threads * CHUNKS_PER_THREAD).max(1);
@@ -425,11 +723,11 @@ where
             let Some((prog_idx, range)) = items.get(i) else {
                 break;
             };
-            let program = programs[*prog_idx];
+            let (program, guards) = queries[*prog_idx];
             let found: Vec<SearchMatches> = candidates[*prog_idx][range.clone()]
                 .iter()
                 .filter_map(|&id| {
-                    program.search_class(egraph, &mut machine, &lookups[*prog_idx], id)
+                    program.search_class(egraph, &mut machine, &lookups[*prog_idx], guards, id)
                 })
                 .collect();
             slots[i].set(found).expect("each work item is claimed once");
@@ -447,7 +745,7 @@ where
 
     // Items were generated per program in candidate order, so concatenating
     // the slots in item order reproduces the sequential output exactly.
-    let mut out: Vec<Vec<SearchMatches>> = programs.iter().map(|_| vec![]).collect();
+    let mut out: Vec<Vec<SearchMatches>> = queries.iter().map(|_| vec![]).collect();
     for ((prog_idx, _), slot) in items.iter().zip(slots) {
         out[*prog_idx].extend(slot.into_inner().expect("every work item was processed"));
     }
@@ -510,6 +808,18 @@ fn ground_term<L: Language>(pattern: &RecExpr<ENodeOrVar<L>>, id: Id) -> RecExpr
     out
 }
 
+/// Read-only per-search state shared by every backtracking frame of one
+/// [`Machine::run`] invocation: the e-graph, the compiled instructions, the
+/// pre-resolved ground-term lookups, the guard table, and the substitution
+/// template.
+struct MachineCtx<'a, L: Language, N: Analysis<L>> {
+    egraph: &'a EGraph<L, N>,
+    instructions: &'a [Instruction<L>],
+    lookups: &'a [Option<Id>],
+    guards: &'a [GuardFn<N::Data>],
+    subst_template: &'a [(Var, Reg)],
+}
+
 /// The register stack. One instance is reused across all candidate classes
 /// of a search; backtracking truncates instead of cloning.
 #[derive(Debug, Default)]
@@ -520,15 +830,13 @@ struct Machine {
 impl Machine {
     fn run<L: Language, N: Analysis<L>>(
         &mut self,
-        egraph: &EGraph<L, N>,
-        instructions: &[Instruction<L>],
+        ctx: &MachineCtx<'_, L, N>,
         pc: usize,
-        lookups: &[Option<Id>],
-        subst_template: &[(Var, Reg)],
         out: &mut Vec<Subst>,
     ) {
-        for pc in pc..instructions.len() {
-            match &instructions[pc] {
+        let egraph = ctx.egraph;
+        for pc in pc..ctx.instructions.len() {
+            match &ctx.instructions[pc] {
                 Instruction::Bind { node, i, out: reg } => {
                     let class = egraph.eclass(self.regs[*i]);
                     for enode in class.iter() {
@@ -539,7 +847,7 @@ impl Machine {
                         for &child in enode.children() {
                             self.regs.push(egraph.find(child));
                         }
-                        self.run(egraph, instructions, pc + 1, lookups, subst_template, out);
+                        self.run(ctx, pc + 1, out);
                     }
                     return;
                 }
@@ -551,7 +859,17 @@ impl Machine {
                 Instruction::Lookup { term: _, i } => {
                     // The term's class was resolved once for this search
                     // (absent/filtered terms resolve to None: always fail).
-                    if lookups[pc] != Some(egraph.find(self.regs[*i])) {
+                    if ctx.lookups[pc] != Some(egraph.find(self.regs[*i])) {
+                        return;
+                    }
+                }
+                Instruction::Guard { i, pred } => {
+                    // Analysis-guided pruning: reject the branch if the
+                    // bound class's analysis data fails the predicate. The
+                    // register already holds a canonical id and `eclass`
+                    // canonicalizes again, so the data is the class's
+                    // current (post-rebuild) value.
+                    if !ctx.guards[*pred](&egraph.eclass(self.regs[*i]).data) {
                         return;
                     }
                 }
@@ -559,7 +877,7 @@ impl Machine {
         }
         // All instructions passed: read the bindings out of the registers.
         let mut subst = Subst::new();
-        for &(v, r) in subst_template {
+        for &(v, r) in ctx.subst_template {
             subst.insert(v, egraph.find(self.regs[r]));
         }
         out.push(subst);
@@ -715,12 +1033,141 @@ mod tests {
         let var_root = pat(|p| {
             p.add(ENodeOrVar::Var(Var::new("x")));
         });
-        let programs = [hot.program(), cold.program(), var_root.program()];
+        let programs = [
+            (hot.program(), &[] as &[_]),
+            (cold.program(), &[] as &[_]),
+            (var_root.program(), &[] as &[_]),
+        ];
         let batch = search_programs_since_parallel(&programs, &eg, 0, 4);
         assert_eq!(batch.len(), 3);
         assert_eq!(batch[0], hot.program().search(&eg));
         assert_eq!(batch[1], cold.program().search(&eg));
         assert_eq!(batch[2], var_root.program().search(&eg));
+    }
+
+    /// Test analysis: a class's data is the largest integer literal it
+    /// contains, or `-1` if it contains none.
+    #[derive(Clone, Copy, Default)]
+    struct MaxNum;
+    impl crate::Analysis<Math> for MaxNum {
+        type Data = i64;
+        fn make(egraph: &EGraph<Math, Self>, enode: &Math) -> i64 {
+            match enode {
+                Math::Num(n) => *n,
+                _ if enode.children().is_empty() => -1,
+                _ => enode
+                    .children()
+                    .iter()
+                    .map(|&c| egraph.eclass(c).data)
+                    .max()
+                    .unwrap_or(-1)
+                    .min(-1), // operators do not inherit literals
+            }
+        }
+        fn merge(&mut self, to: &mut i64, from: i64) -> crate::DidMerge {
+            crate::merge_max(to, from)
+        }
+    }
+
+    #[test]
+    fn guard_is_emitted_right_after_the_binding() {
+        let program = Program::compile_guarded(&mul_by_two().ast, &[Var::new("x")]);
+        let instrs = program.instructions();
+        // Bind fills register 1 with ?x's class; the guard checks it before
+        // the ground lookup for the literal 2 runs.
+        assert_eq!(instrs.len(), 3);
+        assert!(matches!(instrs[0], Instruction::Bind { .. }));
+        assert!(matches!(instrs[1], Instruction::Guard { i: 1, pred: 0 }));
+        assert!(matches!(instrs[2], Instruction::Lookup { .. }));
+        assert_eq!(program.guard_vars(), &[Var::new("x")]);
+    }
+
+    /// Regression test for the guard-placement bug: a variable whose
+    /// register is filled by the *root* Bind must be guarded before any
+    /// deeper Bind runs. The original compiler emitted the guard at the
+    /// variable's BFS visit position, which for (* (* ?x ?p) ?p) put it
+    /// *after* the inner Bind — every candidate enumerated the inner
+    /// class's nodes before the doomed ?p binding was rejected.
+    #[test]
+    fn guard_on_shallow_register_precedes_deeper_binds() {
+        let p = pat(|pa| {
+            let x = pa.add(ENodeOrVar::Var(Var::new("x")));
+            let pv = pa.add(ENodeOrVar::Var(Var::new("p")));
+            let inner = pa.add(ENodeOrVar::ENode(Math::Mul([x, pv])));
+            let pv2 = pa.add(ENodeOrVar::Var(Var::new("p")));
+            pa.add(ENodeOrVar::ENode(Math::Mul([inner, pv2])));
+        });
+        let program = Program::compile_guarded(&p.ast, &[Var::new("p")]);
+        let instrs = program.instructions();
+        assert_eq!(instrs.len(), 4);
+        assert!(matches!(instrs[0], Instruction::Bind { .. }), "root bind");
+        assert!(
+            matches!(instrs[1], Instruction::Guard { i: 2, pred: 0 }),
+            "?p (register 2, filled by the root bind) is guarded before \
+             the inner bind, got {instrs:?}"
+        );
+        assert!(matches!(instrs[2], Instruction::Bind { .. }), "inner bind");
+        assert!(matches!(instrs[3], Instruction::Compare { i: 2, j: 4 }));
+    }
+
+    #[test]
+    fn guarded_search_equals_unguarded_search_filtered_by_predicate() {
+        let mut eg: EGraph<Math, MaxNum> = EGraph::new(MaxNum);
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let three = eg.add(Math::Num(3));
+        eg.add(Math::Mul([a, two])); // ?x -> a: data -1, pruned
+        eg.add(Math::Mul([three, two])); // ?x -> 3: data 3, kept
+        eg.rebuild();
+
+        let pattern = mul_by_two();
+        let pred: GuardFn<i64> = Arc::new(|d: &i64| *d >= 0);
+        let guarded = GuardedProgram::compile(&pattern.ast, &[(Var::new("x"), pred.clone())]);
+
+        let unguarded = pattern.search(&eg);
+        assert_eq!(unguarded.len(), 2);
+        let expected: Vec<SearchMatches> = unguarded
+            .into_iter()
+            .filter(|m| {
+                m.substs
+                    .iter()
+                    .all(|s| pred(&eg.eclass(s[Var::new("x")]).data))
+            })
+            .collect();
+        assert_eq!(expected.len(), 1);
+        assert_eq!(guarded.search(&eg), expected);
+        // Parallel guarded search is bit-identical too.
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(guarded.search_parallel(&eg, threads), expected);
+        }
+    }
+
+    #[test]
+    fn duplicate_guards_for_one_variable_are_conjoined() {
+        let mut eg: EGraph<Math, MaxNum> = EGraph::new(MaxNum);
+        let two = eg.add(Math::Num(2));
+        let four = eg.add(Math::Num(4));
+        eg.add(Math::Mul([two, two])); // 2: even but < 3, pruned
+        eg.add(Math::Mul([four, two])); // 4: even and >= 3, kept
+        eg.rebuild();
+        let pattern = mul_by_two();
+        let even: GuardFn<i64> = Arc::new(|d| d % 2 == 0);
+        let big: GuardFn<i64> = Arc::new(|d| *d >= 3);
+        let guarded =
+            GuardedProgram::compile(&pattern.ast, &[(Var::new("x"), even), (Var::new("x"), big)]);
+        let ms = guarded.search(&eg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].substs[0][Var::new("x")], eg.find(four));
+    }
+
+    #[test]
+    #[should_panic(expected = "guard table size mismatch")]
+    fn plain_search_on_guard_compiled_program_panics() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add(sym("a"));
+        eg.rebuild();
+        let program = Program::compile_guarded(&mul_by_two().ast, &[Var::new("x")]);
+        let _ = program.search(&eg);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Patterns over a [`Language`]: terms with variables, searched for in an
 //! e-graph (e-matching) and instantiated to apply rewrites.
 
-use crate::machine::Program;
+use crate::machine::{Program, SearchQuery};
 use crate::{Analysis, EGraph, Id, Language, RecExpr, Symbol};
 use std::fmt::{self, Display};
 use std::sync::OnceLock;
@@ -228,6 +228,29 @@ impl<L: Language> Pattern<L> {
     /// containing a node with the pattern root's operator are visited.
     ///
     /// Filtered e-nodes (see [`EGraph::filter_node`]) are never matched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tensat_egraph::{EGraph, Pattern, RecExpr, Symbol, Var, ENodeOrVar};
+    /// use tensat_egraph::doctest_lang::SimpleMath as Math;
+    /// // Pattern (+ ?x ?x): non-linear, matches only same-class operands.
+    /// let mut ast = RecExpr::<ENodeOrVar<Math>>::default();
+    /// let x1 = ast.add(ENodeOrVar::Var(Var::new("x")));
+    /// let x2 = ast.add(ENodeOrVar::Var(Var::new("x")));
+    /// ast.add(ENodeOrVar::ENode(Math::Add([x1, x2])));
+    /// let pat = Pattern::new(ast);
+    ///
+    /// let mut eg: EGraph<Math, ()> = EGraph::new(());
+    /// let a = eg.add(Math::Sym(Symbol::new("a")));
+    /// let b = eg.add(Math::Sym(Symbol::new("b")));
+    /// eg.add(Math::Add([a, b])); // does not match
+    /// let good = eg.add(Math::Add([a, a])); // matches
+    /// eg.rebuild(); // search requires a clean e-graph
+    /// let matches = pat.search(&eg);
+    /// assert_eq!(matches.len(), 1);
+    /// assert_eq!(matches[0].eclass, eg.find(good));
+    /// ```
     ///
     /// # Panics
     ///
@@ -483,8 +506,50 @@ where
     N: Analysis<L> + Sync,
     N::Data: Sync,
 {
-    let programs: Vec<&Program<L>> = patterns.iter().map(|p| p.program()).collect();
-    crate::machine::search_programs_since_parallel(&programs, egraph, watermark, n_threads)
+    let queries: Vec<SearchQuery<'_, L, N::Data>> = patterns
+        .iter()
+        .map(|p| (p.program(), &[] as &[_]))
+        .collect();
+    crate::machine::search_programs_since_parallel(&queries, egraph, watermark, n_threads)
+}
+
+/// Guarded version of [`search_all_parallel`]: searches a batch of compiled
+/// `(program, guard table)` queries — e.g. built from
+/// [`GuardedProgram::query`](crate::GuardedProgram::query) or
+/// [`Rewrite::searcher_query`](crate::Rewrite::searcher_query); an empty
+/// table means the program is unguarded — returning one match list per
+/// query, each bit-identical to that query's sequential search.
+///
+/// # Panics
+///
+/// Panics if a guard table does not match its program's guarded variables;
+/// debug-asserts that the e-graph is clean (see [`Pattern::search`]).
+pub fn search_all_guarded_parallel<L, N>(
+    queries: &[SearchQuery<'_, L, N::Data>],
+    egraph: &EGraph<L, N>,
+    n_threads: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    search_all_guarded_since_parallel(queries, egraph, 0, n_threads)
+}
+
+/// Watermark-restricted version of [`search_all_guarded_parallel`].
+pub fn search_all_guarded_since_parallel<L, N>(
+    queries: &[SearchQuery<'_, L, N::Data>],
+    egraph: &EGraph<L, N>,
+    watermark: u64,
+    n_threads: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    crate::machine::search_programs_since_parallel(queries, egraph, watermark, n_threads)
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! The [`Runner`]: drives equality saturation until saturation or a limit
 //! is hit, recording per-iteration statistics.
 
-use crate::pattern::search_all_since_parallel;
-use crate::{Analysis, EGraph, Language, Pattern, RecExpr, Rewrite};
+use crate::pattern::search_all_guarded_since_parallel;
+use crate::{Analysis, EGraph, Language, RecExpr, Rewrite};
 use std::fmt::Debug;
 use std::time::{Duration, Instant};
 
@@ -202,9 +202,11 @@ where
         self.run_with_search(rewrites, |egraph, rewrites, watermark| {
             // The batch driver dispatches itself: with one thread it is the
             // per-pattern sequential search verbatim (and a watermark of 0
-            // is a full search, so `None` needs no special case).
-            let patterns: Vec<&Pattern<L>> = rewrites.iter().map(|rw| &rw.searcher).collect();
-            search_all_since_parallel(&patterns, egraph, watermark.unwrap_or(0), n_threads)
+            // is a full search, so `None` needs no special case). Each
+            // rewrite contributes its guarded program when it carries
+            // analysis guards, its plain pattern program otherwise.
+            let queries: Vec<_> = rewrites.iter().map(|rw| rw.searcher_query()).collect();
+            search_all_guarded_since_parallel(&queries, egraph, watermark.unwrap_or(0), n_threads)
         })
     }
 }

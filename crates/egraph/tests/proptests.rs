@@ -3,10 +3,11 @@
 
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use tensat_egraph::doctest_lang::SimpleMath as Math;
 use tensat_egraph::{
-    search_all_parallel, AstSize, EGraph, ENodeOrVar, Extractor, Id, Pattern, RecExpr,
-    SearchMatches, Symbol, Var,
+    search_all_parallel, Analysis, AstSize, DidMerge, EGraph, ENodeOrVar, Extractor, GuardFn,
+    GuardedProgram, Id, Pattern, RecExpr, SearchMatches, Subst, Symbol, Var,
 };
 
 /// A random expression generator: a sequence of build steps referencing
@@ -269,6 +270,133 @@ proptest! {
             combined.entry(class).or_default().extend(substs);
         }
         prop_assert_eq!(full, combined);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis-guided (guarded) search
+// ---------------------------------------------------------------------------
+
+/// A constant-folding-flavoured analysis for the guard proptests: a class's
+/// data is `Some(value)` when a constant value is known for it. Random
+/// unions can merge classes with conflicting constants — `merge` then keeps
+/// the existing value; guards only need the data to be *deterministic*, not
+/// semantically meaningful.
+#[derive(Clone, Copy, Default)]
+struct ConstAnalysis;
+
+impl Analysis<Math> for ConstAnalysis {
+    type Data = Option<i64>;
+    fn make(egraph: &EGraph<Math, Self>, enode: &Math) -> Option<i64> {
+        let c = |id: &Id| egraph.eclass(*id).data;
+        match enode {
+            Math::Num(n) => Some(*n),
+            Math::Sym(_) => None,
+            Math::Add([a, b]) => c(a)?.checked_add(c(b)?),
+            Math::Mul([a, b]) => c(a)?.checked_mul(c(b)?),
+            Math::Div([a, b]) => c(a)?.checked_div(c(b)?),
+            Math::Shl([_, _]) => None,
+        }
+    }
+    fn merge(&mut self, to: &mut Option<i64>, from: Option<i64>) -> DidMerge {
+        match (&to, from) {
+            (None, Some(v)) => {
+                *to = Some(v);
+                DidMerge(true, false)
+            }
+            (Some(a), Some(b)) if *a != b => DidMerge(false, true),
+            (Some(_), None) => DidMerge(false, true),
+            _ => DidMerge(false, false),
+        }
+    }
+}
+
+/// The pool of guard predicates the proptests draw from (index 0 = no
+/// guard). All are pure functions of the class data, as guards must be.
+fn guard_pool(choice: u8) -> Option<GuardFn<Option<i64>>> {
+    match choice % 4 {
+        0 => None,
+        1 => Some(Arc::new(|d: &Option<i64>| d.is_some())),
+        2 => Some(Arc::new(
+            |d: &Option<i64>| matches!(d, Some(v) if v % 2 == 0),
+        )),
+        _ => Some(Arc::new(|d: &Option<i64>| !matches!(d, Some(0)))),
+    }
+}
+
+/// Post-filters an unguarded match list by the guard predicates — the
+/// reference semantics guarded search must reproduce *bit-identically*:
+/// a substitution survives iff every guarded variable it binds maps to a
+/// class whose analysis data passes the predicate.
+fn filter_by_guards(
+    eg: &EGraph<Math, ConstAnalysis>,
+    matches: &[SearchMatches],
+    guards: &[(Var, GuardFn<Option<i64>>)],
+) -> Vec<SearchMatches> {
+    matches
+        .iter()
+        .filter_map(|m| {
+            let substs: Vec<Subst> = m
+                .substs
+                .iter()
+                .filter(|s| {
+                    guards.iter().all(|(v, g)| match s.get(*v) {
+                        Some(id) => g(&eg.eclass(id).data),
+                        None => true,
+                    })
+                })
+                .cloned()
+                .collect();
+            (!substs.is_empty()).then_some(SearchMatches {
+                eclass: m.eclass,
+                substs,
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    /// The tentpole equivalence: on random e-graphs (random unions, random
+    /// analysis data) and random patterns, guarded search returns exactly
+    /// the unguarded match list post-filtered by the same predicates — same
+    /// class order, same substitution order — and the parallel guarded
+    /// driver is bit-identical to the sequential one for 1–8 threads.
+    #[test]
+    fn guarded_search_equals_filtered_search_and_parallel_is_bit_identical(
+        steps in steps_strategy(40),
+        pat_steps in pattern_strategy(12),
+        guard_choices in prop::collection::vec(0u8..4, 3),
+        n_threads in 1usize..=8,
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 0..6)
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ConstAnalysis> = EGraph::new(ConstAnalysis);
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let class_ids: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        for (a, b) in unions {
+            let a = class_ids[a % class_ids.len()];
+            let b = class_ids[b % class_ids.len()];
+            eg.union(a, b);
+        }
+        eg.rebuild();
+
+        let pattern = build_pattern(&pat_steps);
+        // Draw a guard (or none) for each of the three possible variables.
+        let guards: Vec<(Var, GuardFn<Option<i64>>)> = guard_choices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &choice)| {
+                guard_pool(choice).map(|g| (Var::new(format!("v{i}")), g))
+            })
+            .collect();
+        let guarded = GuardedProgram::compile(&pattern.ast, &guards);
+
+        let unguarded = pattern.search(&eg);
+        let expected = filter_by_guards(&eg, &unguarded, &guards);
+        let got = guarded.search(&eg);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(guarded.search_parallel(&eg, n_threads), got);
     }
 }
 

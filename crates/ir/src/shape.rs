@@ -100,6 +100,75 @@ impl TensorData {
     pub fn shape(&self) -> Option<&[i64]> {
         self.as_tensor().map(|t| t.shape.as_slice())
     }
+
+    /// The coarse kind of this value, or `None` if it is invalid.
+    pub fn kind(&self) -> Option<DataKind> {
+        match self {
+            TensorData::Invalid(_) => None,
+            TensorData::Scalar(_) => Some(DataKind::Scalar),
+            TensorData::Str(_) => Some(DataKind::Str),
+            TensorData::Tensor(_) => Some(DataKind::Tensor),
+            TensorData::Tuple(..) => Some(DataKind::Tuple),
+        }
+    }
+
+    /// True if this value is valid and of the given kind ([`DataKind::Any`]
+    /// accepts every valid value). This is exactly the admissibility test
+    /// the corresponding [`infer`] child accessor performs, so it can be
+    /// used as an e-class analysis guard during e-matching.
+    pub fn matches_kind(&self, kind: DataKind) -> bool {
+        match kind {
+            DataKind::Any => self.is_valid(),
+            k => self.kind() == Some(k),
+        }
+    }
+}
+
+/// The coarse kind of [`TensorData`] an operator child position requires —
+/// the static part of [`infer`]'s per-child admissibility checks, exposed so
+/// rewrite rules can compile their shape conditions down to per-variable
+/// e-matching guards (see [`child_data_kinds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataKind {
+    /// An integer parameter ([`TensorData::Scalar`]).
+    Scalar,
+    /// A string parameter ([`TensorData::Str`]).
+    Str,
+    /// A tensor value ([`TensorData::Tensor`]).
+    Tensor,
+    /// A tensor tuple ([`TensorData::Tuple`], produced by `split`).
+    Tuple,
+    /// Any valid value: the position is ignored by shape inference (e.g. the
+    /// activation code of `matmul`), so only overall validity is required.
+    Any,
+}
+
+/// For each child position of `node`, the [`DataKind`] that [`infer`]
+/// requires of that child's data — `infer` returns
+/// [`TensorData::Invalid`] whenever a child's data fails its position's
+/// kind (and always when a child is invalid). This table must mirror the
+/// accessors `infer` actually calls; `shape.rs` keeps the two adjacent so
+/// they evolve together.
+pub fn child_data_kinds(node: &TensorLang) -> &'static [DataKind] {
+    use DataKind::{Any, Scalar, Str, Tensor, Tuple};
+    use TensorLang as L;
+    match node {
+        L::Num(_) | L::Str(_) => &[],
+        L::Input(_) | L::Weight(_) => &[Str],
+        L::Ewadd(_) | L::Ewmul(_) | L::Enlarge(_) | L::Noop(_) => &[Tensor, Tensor],
+        L::Matmul(_) => &[Any, Tensor, Tensor],
+        L::Conv(_) => &[Scalar, Scalar, Scalar, Any, Tensor, Tensor],
+        L::Relu(_) | L::Tanh(_) | L::Sigmoid(_) => &[Tensor],
+        L::Poolmax(_) | L::Poolavg(_) => &[Tensor, Scalar, Scalar, Scalar, Scalar, Scalar, Any],
+        L::Transpose(_) | L::Reshape(_) => &[Tensor, Str],
+        L::Concat2(_) => &[Scalar, Tensor, Tensor],
+        L::Concat3(_) => &[Scalar, Tensor, Tensor, Tensor],
+        L::Concat4(_) => &[Scalar, Tensor, Tensor, Tensor, Tensor],
+        L::Concat5(_) => &[Scalar, Tensor, Tensor, Tensor, Tensor, Tensor],
+        L::Split(_) => &[Scalar, Tensor],
+        L::Split0(_) | L::Split1(_) => &[Tuple],
+        L::Merge(_) => &[Tensor, Scalar],
+    }
 }
 
 fn spatial_out(size: i64, kernel: i64, stride: i64, pad: Padding) -> Option<i64> {
@@ -640,6 +709,83 @@ mod tests {
         let b = input(&mut e, "b", &[8, 64]);
         e.add(TensorLang::Ewadd([a, b]));
         assert!(!data_of(&e).is_valid());
+    }
+
+    #[test]
+    fn child_data_kinds_cover_every_child_position() {
+        // One sample node per operator variant: the kind table must be
+        // exactly as long as the child list, or guard derivation would
+        // silently misalign positions.
+        let id = Id::from(0usize);
+        let samples: Vec<TensorLang> = vec![
+            TensorLang::Num(0),
+            TensorLang::Str(Symbol::new("s")),
+            TensorLang::Input([id]),
+            TensorLang::Weight([id]),
+            TensorLang::Ewadd([id; 2]),
+            TensorLang::Ewmul([id; 2]),
+            TensorLang::Matmul([id; 3]),
+            TensorLang::Conv([id; 6]),
+            TensorLang::Relu([id]),
+            TensorLang::Tanh([id]),
+            TensorLang::Sigmoid([id]),
+            TensorLang::Poolmax([id; 7]),
+            TensorLang::Poolavg([id; 7]),
+            TensorLang::Transpose([id; 2]),
+            TensorLang::Enlarge([id; 2]),
+            TensorLang::Concat2([id; 3]),
+            TensorLang::Concat3([id; 4]),
+            TensorLang::Concat4([id; 5]),
+            TensorLang::Concat5([id; 6]),
+            TensorLang::Split([id; 2]),
+            TensorLang::Split0([id]),
+            TensorLang::Split1([id]),
+            TensorLang::Merge([id; 2]),
+            TensorLang::Reshape([id; 2]),
+            TensorLang::Noop([id; 2]),
+        ];
+        for node in samples {
+            assert_eq!(
+                child_data_kinds(&node).len(),
+                node.children().len(),
+                "kind table misaligned for {node:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_kind_mirrors_infer_admissibility() {
+        let tensor = TensorData::Tensor(TensorInfo::new(vec![8, 8], false));
+        let scalar = TensorData::Scalar(1);
+        let string = TensorData::Str(Symbol::new("x"));
+        let invalid = TensorData::invalid("nope");
+        assert!(tensor.matches_kind(DataKind::Tensor));
+        assert!(tensor.matches_kind(DataKind::Any));
+        assert!(!tensor.matches_kind(DataKind::Scalar));
+        assert!(scalar.matches_kind(DataKind::Scalar));
+        assert!(string.matches_kind(DataKind::Str));
+        for kind in [
+            DataKind::Scalar,
+            DataKind::Str,
+            DataKind::Tensor,
+            DataKind::Tuple,
+            DataKind::Any,
+        ] {
+            assert!(!invalid.matches_kind(kind), "invalid data never matches");
+        }
+
+        // Spot-check against infer: a scalar in matmul's tensor position is
+        // exactly what the kind table says is inadmissible.
+        let mut e = RecExpr::default();
+        let n = e.add(TensorLang::Num(3));
+        let b = weight(&mut e, "b", &[128, 64]);
+        let act = e.add(TensorLang::Num(0));
+        e.add(TensorLang::Matmul([act, n, b]));
+        assert!(!data_of(&e).is_valid());
+        assert_eq!(
+            child_data_kinds(&TensorLang::Matmul([act, n, b]))[1],
+            DataKind::Tensor
+        );
     }
 
     #[test]

@@ -6,10 +6,31 @@
 //! pattern under the candidate substitution (reading the bound variables'
 //! data from the e-class analysis) and rejecting the match if any node is
 //! ill-typed.
+//!
+//! The check splits into two parts:
+//!
+//! * a **per-variable** part — every variable the target uses must be bound
+//!   to a class with *valid* data of the *kind* its target positions expect
+//!   (tensor operand, integer parameter, ...). This part is compiled down to
+//!   e-matching [guards](tensat_egraph::GuardFn) by [`shape_guards`], so the
+//!   machine prunes inadmissible bindings *during* matching
+//!   ([`tensat_egraph::Instruction::Guard`]) instead of enumerating complete
+//!   substitutions first.
+//! * a **cross-variable** residue — inferring the target's shapes under the
+//!   full substitution and comparing its output shape with the matched
+//!   class. This cannot be decided per variable and stays a post-match
+//!   [`Condition`] ([`shape_check`]).
+//!
+//! Guards are a sound approximation of the condition (they only reject
+//! bindings the condition would reject), so guarded search followed by the
+//! residual condition fires exactly the applications the unguarded rule
+//! fires — proven differentially by the proptests in
+//! `crates/bench/tests/guarded_search.rs`.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
-use tensat_egraph::{Condition, EGraph, ENodeOrVar, Id, Pattern, Subst};
-use tensat_ir::{infer, TensorAnalysis, TensorData, TensorLang};
+use tensat_egraph::{Condition, EGraph, ENodeOrVar, GuardFn, Id, Language, Pattern, Subst, Var};
+use tensat_ir::{child_data_kinds, infer, DataKind, TensorAnalysis, TensorData, TensorLang};
 
 /// Infers the [`TensorData`] of every node of `pattern` under `subst`,
 /// without modifying the e-graph. Variables take the data of the e-class
@@ -66,6 +87,65 @@ pub fn shape_check(target: Pattern<TensorLang>) -> Condition<TensorLang, TensorA
             _ => true,
         }
     })
+}
+
+/// A per-variable analysis guard over [`TensorData`], evaluated inside the
+/// e-matching machine (see [`tensat_egraph::GuardFn`]).
+pub type TensorGuard = GuardFn<TensorData>;
+
+/// For every variable of `pattern`, the set of [`DataKind`]s its child
+/// positions require (per [`child_data_kinds`]), in first-occurrence order.
+/// [`DataKind::Any`] positions contribute no constraint — validity alone is
+/// required there — so an empty set means "any valid data".
+///
+/// A binding violating one of these kinds makes [`infer`] return invalid
+/// data for the corresponding pattern node, so [`pattern_is_valid`] is
+/// guaranteed false for it: the constraints are the per-variable part of
+/// the shape check, safe to evaluate during matching.
+pub fn pattern_kind_constraints(pattern: &Pattern<TensorLang>) -> Vec<(Var, BTreeSet<DataKind>)> {
+    let mut out: Vec<(Var, BTreeSet<DataKind>)> = pattern
+        .vars()
+        .into_iter()
+        .map(|v| (v, BTreeSet::new()))
+        .collect();
+    for (_, node) in pattern.ast.iter() {
+        if let ENodeOrVar::ENode(n) = node {
+            for (&child, &kind) in n.children().iter().zip(child_data_kinds(n)) {
+                if kind == DataKind::Any {
+                    continue;
+                }
+                if let ENodeOrVar::Var(v) = &pattern.ast[child] {
+                    let entry = out.iter_mut().find(|(u, _)| u == v);
+                    entry
+                        .expect("pattern.vars() lists every variable")
+                        .1
+                        .insert(kind);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the guard for one kind-constraint set: the bound class's data
+/// must be valid and match every required kind (see
+/// [`TensorData::matches_kind`]).
+pub fn guard_for_kinds(kinds: &BTreeSet<DataKind>) -> TensorGuard {
+    let kinds: Vec<DataKind> = kinds.iter().copied().collect();
+    Arc::new(move |d: &TensorData| d.is_valid() && kinds.iter().all(|k| d.matches_kind(*k)))
+}
+
+/// The per-variable e-matching guards implied by a rule's target pattern:
+/// every target variable must be bound to a class with valid data of the
+/// kinds its target positions require. This is exactly the per-variable
+/// part of [`shape_check`] / [`pattern_is_valid`] compiled down to machine
+/// guards — the cross-variable shape comparison stays in the post-match
+/// condition.
+pub fn shape_guards(target: &Pattern<TensorLang>) -> Vec<(Var, TensorGuard)> {
+    pattern_kind_constraints(target)
+        .iter()
+        .map(|(v, kinds)| (*v, guard_for_kinds(kinds)))
+        .collect()
 }
 
 /// A condition requiring the string bound to `var`-like child to be a
@@ -149,6 +229,51 @@ mod tests {
         let mut subst = Subst::new();
         subst.insert(Var::new("x"), x);
         assert!(!pattern_is_valid(&eg, &target, &subst));
+    }
+
+    #[test]
+    fn kind_constraints_follow_target_positions() {
+        // ?x is a matmul data operand (Tensor); ?w1/?w2 are concat operands
+        // (Tensor); ?a is the concat axis (Scalar).
+        let target = parse_pattern("(matmul 0 ?x (concat2 ?a ?w1 ?w2))").unwrap();
+        let constraints = pattern_kind_constraints(&target);
+        let get = |name: &str| {
+            constraints
+                .iter()
+                .find(|(v, _)| *v == Var::new(name))
+                .map(|(_, k)| k.iter().copied().collect::<Vec<_>>())
+                .unwrap()
+        };
+        assert_eq!(get("x"), vec![DataKind::Tensor]);
+        assert_eq!(get("a"), vec![DataKind::Scalar]);
+        assert_eq!(get("w1"), vec![DataKind::Tensor]);
+        // A variable used only at an ignored (Any) position has no kind
+        // constraint, but still appears (validity is always required).
+        let act_target = parse_pattern("(matmul ?act ?x ?w)").unwrap();
+        let constraints = pattern_kind_constraints(&act_target);
+        let act = constraints
+            .iter()
+            .find(|(v, _)| *v == Var::new("act"))
+            .unwrap();
+        assert!(act.1.is_empty());
+    }
+
+    #[test]
+    fn shape_guards_reject_exactly_what_the_condition_rejects_per_var() {
+        let (eg, x, _w1, _w2) = setup();
+        let target = parse_pattern("(relu ?x)").unwrap();
+        let guards = shape_guards(&target);
+        assert_eq!(guards.len(), 1);
+        let (var, guard) = &guards[0];
+        assert_eq!(*var, Var::new("x"));
+        // A tensor-valued class passes; scalar and invalid data fail, just
+        // as pattern_is_valid would fail for such a binding.
+        assert!(guard(&eg.eclass(x).data));
+        assert!(!guard(&TensorData::Scalar(3)));
+        assert!(!guard(&TensorData::invalid("broken")));
+        let mut subst = Subst::new();
+        subst.insert(Var::new("x"), x);
+        assert!(pattern_is_valid(&eg, &target, &subst));
     }
 
     #[test]

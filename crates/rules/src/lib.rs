@@ -19,7 +19,10 @@ pub mod multi;
 pub mod parser;
 pub mod single;
 
-pub use conditions::{pattern_data, pattern_is_valid, shape_check};
+pub use conditions::{
+    guard_for_kinds, pattern_data, pattern_is_valid, pattern_kind_constraints, shape_check,
+    shape_guards, TensorGuard,
+};
 pub use multi::{multi_rules, MultiPatternRule};
 pub use parser::{parse_pattern, ParsePatternError};
 pub use single::{rw, rw_bidi, single_rules, testing, TensorRewrite};

@@ -6,7 +6,7 @@
 //! concat/split algebra, and transpose algebra. Every rule carries the
 //! standard shape-checking condition of [`crate::conditions::shape_check`].
 
-use crate::conditions::{involutive_permutation, shape_check};
+use crate::conditions::{involutive_permutation, shape_check, shape_guards, TensorGuard};
 use crate::parser::parse_pattern;
 use std::sync::Arc;
 use tensat_egraph::{Rewrite, Var};
@@ -16,6 +16,12 @@ use tensat_ir::{decode_permutation, TensorAnalysis, TensorData, TensorLang};
 pub type TensorRewrite = Rewrite<TensorLang, TensorAnalysis>;
 
 /// Builds a shape-checked rewrite from textual left/right patterns.
+///
+/// The shape check is split: the per-variable part (every target variable
+/// must bind valid data of the kind its target positions require) becomes
+/// e-matching guards via [`shape_guards`], pruning dead bindings inside the
+/// machine; the cross-variable part (full target inference and output-shape
+/// comparison) stays the post-match [`shape_check`] condition.
 ///
 /// # Panics
 ///
@@ -28,10 +34,13 @@ pub fn rw(name: &str, lhs: &str, rhs: &str) -> TensorRewrite {
     let applier =
         parse_pattern(rhs).unwrap_or_else(|e| panic!("rule {name}: bad RHS pattern `{rhs}`: {e}"));
     // Rule definitions are static program data: compile the e-matching
-    // program up front so the first exploration iteration pays no
-    // compilation cost (clones of the rule inherit the compiled program).
+    // programs (plain and guarded) up front so the first exploration
+    // iteration pays no compilation cost (clones of the rule inherit the
+    // compiled programs).
     searcher.precompile();
+    let guards = shape_guards(&applier);
     Rewrite::new_conditional(name, searcher, applier.clone(), shape_check(applier))
+        .with_guards(guards)
 }
 
 /// Builds both directions of a bidirectional rule, naming them `name` and
@@ -42,25 +51,38 @@ pub fn rw_bidi(name: &str, lhs: &str, rhs: &str) -> Vec<TensorRewrite> {
 
 /// The double-transpose elimination rule, which additionally requires the
 /// permutation literal to be self-inverse.
+///
+/// The requirement reads only `?p`'s own analysis data, so it compiles to
+/// an e-matching guard: inadmissible permutations never even produce a
+/// match. The same check is *also* kept as the post-match
+/// [`Condition`](tensat_egraph::Condition) — on the guarded search path it
+/// can never fire (the guard already pruned every violator), but
+/// `searcher` is a public field and code applying matches from an
+/// *unguarded* search (benches, differential tests, external callers)
+/// must not be able to union `x` with a non-involutive double transpose.
 fn double_transpose_rule() -> TensorRewrite {
     let searcher = parse_pattern("(transpose (transpose ?x ?p) ?p)").unwrap();
     let applier = parse_pattern("?x").unwrap();
+    fn involutive_data(d: &TensorData) -> bool {
+        match d {
+            TensorData::Str(sym) => decode_permutation(*sym)
+                .map(|perm| involutive_permutation(&perm))
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+    let guard: TensorGuard = Arc::new(involutive_data);
     let cond = Arc::new(
-        move |egraph: &tensat_egraph::EGraph<TensorLang, TensorAnalysis>,
-              _class: tensat_egraph::Id,
-              subst: &tensat_egraph::Subst| {
-            let Some(p) = subst.get(Var::new("p")) else {
-                return false;
-            };
-            match &egraph.eclass(p).data {
-                TensorData::Str(sym) => decode_permutation(*sym)
-                    .map(|perm| involutive_permutation(&perm))
-                    .unwrap_or(false),
-                _ => false,
-            }
+        |egraph: &tensat_egraph::EGraph<TensorLang, TensorAnalysis>,
+         _class: tensat_egraph::Id,
+         subst: &tensat_egraph::Subst| {
+            subst
+                .get(Var::new("p"))
+                .is_some_and(|p| involutive_data(&egraph.eclass(p).data))
         },
     );
     Rewrite::new_conditional("double-transpose", searcher, applier, cond)
+        .with_guards(vec![(Var::new("p"), guard)])
 }
 
 /// The full single-pattern rule set.
@@ -322,6 +344,49 @@ mod tests {
         let (_, best) = ex.find_best(root).unwrap();
         let data = tensat_ir::infer_recexpr(&best);
         assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    /// A non-involutive double transpose must be rejected twice over: the
+    /// guard prunes the match during search (the production path), and the
+    /// retained post-match condition rejects it for anyone applying
+    /// matches from an *unguarded* search of the public `searcher`.
+    #[test]
+    fn non_involutive_double_transpose_is_rejected_by_guard_and_condition() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[4, 5, 6]);
+        let t1 = g.transpose(x, &[1, 2, 0]); // 3-cycle: not self-inverse
+        let t2 = g.transpose(t1, &[1, 2, 0]);
+        let expr = g.finish(&[t2]);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        eg.add_expr(&expr);
+        eg.rebuild();
+
+        let rule = single_rules()
+            .into_iter()
+            .find(|r| r.name == "double-transpose")
+            .expect("rule exists");
+        // Guarded (production) search: no match at all.
+        assert!(rule.search(&eg).is_empty());
+        // Unguarded search of the raw pattern finds the structural match...
+        let raw = rule.searcher.search(&eg);
+        assert_eq!(raw.len(), 1);
+        // ...but the retained condition refuses to let it fire.
+        let cond = rule.condition.as_ref().expect("condition retained");
+        for m in &raw {
+            for s in &m.substs {
+                assert!(!cond(&eg, m.eclass, s), "condition must reject {s:?}");
+            }
+        }
+        // An involutive permutation still goes through end to end.
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[4, 5]);
+        let t1 = g.transpose(x, &[1, 0]);
+        let t2 = g.transpose(t1, &[1, 0]);
+        let expr = g.finish(&[t2]);
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        eg.add_expr(&expr);
+        eg.rebuild();
+        assert_eq!(rule.search(&eg).len(), 1);
     }
 
     #[test]

@@ -363,7 +363,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`]: a fixed size or a (half-open or
+    /// A size specification for [`vec()`]: a fixed size or a (half-open or
     /// inclusive) range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -400,7 +400,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
