@@ -1,0 +1,207 @@
+//! `bench-report`: runs the `ematch_*` pure-search micro-benchmarks (the
+//! same workload as `benches/egraph.rs`, without the criterion harness)
+//! and emits a machine-readable `BENCH_egraph.json` so CI can archive the
+//! perf trajectory across PRs.
+//!
+//! For each benchmark model the e-graph is grown by two exploration
+//! iterations (classes hold multiple nodes, as during saturation), then
+//! each search variant is timed over repeated full-rule-set sweeps:
+//!
+//! * `naive`    — the legacy recursive oracle ([`Pattern::search_naive`])
+//! * `machine`  — the compiled, op-indexed machine, unguarded
+//! * `guarded`  — the machine with the rules' analysis guards (what
+//!   production `Rewrite::search` runs; tag-mask guards since the dense
+//!   storage refactor)
+//! * `parallel4` — the sharded batch driver with 4 threads (single-core
+//!   containers measure spawn overhead here, not speedup)
+//!
+//! The JSON records the best-of-rounds nanoseconds per full-rule-set
+//! search, per model and variant, plus the guarded-vs-machine overhead
+//! percentage the ROADMAP tracks.
+//!
+//! [`Pattern::search_naive`]: tensat_egraph::Pattern::search_naive
+
+use std::io::Write;
+use std::time::Instant;
+use tensat_core::{explore, ExplorationConfig};
+use tensat_ir::{TensorAnalysis, TensorEGraph};
+use tensat_models::{build_benchmark, ModelScale};
+use tensat_rules::{single_rules, TensorRewrite};
+
+/// Models measured; mirrors `benches/egraph.rs`'s model benches.
+const MODELS: &[&str] = &["BERT", "ResNeXt-50"];
+
+/// Interleaved measurement rounds per variant. Variants are sampled
+/// round-robin (so slow drift — thermal, background load — hits them
+/// equally), each round times a batch of iterations large enough to
+/// amortize timer overhead, and the best round is reported: for a
+/// CPU-bound microbench the minimum is the noise-robust statistic on a
+/// busy single-core container.
+const ROUNDS: usize = 9;
+
+/// Target wall-clock per timed batch; iterations per round are derived
+/// from a calibration run so tiny workloads are not timer-noise bound.
+const TARGET_BATCH_NS: u128 = 4_000_000;
+
+fn grow(model: &str, rules: &[TensorRewrite]) -> TensorEGraph {
+    let graph = build_benchmark(model, ModelScale::default());
+    let mut eg = TensorEGraph::new(TensorAnalysis);
+    let root = eg.add_expr(&graph);
+    eg.rebuild();
+    explore(
+        &mut eg,
+        root,
+        rules,
+        &[],
+        &ExplorationConfig {
+            max_iter: 2,
+            node_limit: 20_000,
+            search_threads: 1,
+            ..Default::default()
+        },
+    );
+    eg
+}
+
+struct Variant {
+    name: &'static str,
+    ns_per_search: u128,
+    matches: usize,
+}
+
+/// A named search routine returning its match count.
+type NamedSearch<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
+
+/// Calibration state per variant: routine, best ns/iter so far, match
+/// count, iterations per timed batch.
+type Calibrated<'a> = (
+    &'static str,
+    Box<dyn FnMut() -> usize + 'a>,
+    u128,
+    usize,
+    usize,
+);
+
+/// Measures a set of search variants with interleaved rounds; returns the
+/// best (minimum) per-iteration time for each, in input order. The match
+/// count guards against the compiler optimizing a search away and gives
+/// the report a sanity datum.
+fn measure(variants: Vec<NamedSearch<'_>>) -> Vec<Variant> {
+    let mut variants: Vec<Calibrated<'_>> = variants
+        .into_iter()
+        .map(|(name, mut f)| {
+            // Calibrate: one warm-up run doubles as the iteration-count
+            // probe.
+            let start = Instant::now();
+            let matches = std::hint::black_box(f());
+            let once = start.elapsed().as_nanos().max(1);
+            let iters = (TARGET_BATCH_NS / once).clamp(1, 10_000) as usize;
+            (name, f, u128::MAX, matches, iters)
+        })
+        .collect();
+    for _ in 0..ROUNDS {
+        for (_, f, best, _, iters) in variants.iter_mut() {
+            let start = Instant::now();
+            for _ in 0..*iters {
+                std::hint::black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() / *iters as u128;
+            *best = (*best).min(per_iter);
+        }
+    }
+    variants
+        .into_iter()
+        .map(|(name, _, best, matches, _)| Variant {
+            name,
+            ns_per_search: best,
+            matches,
+        })
+        .collect()
+}
+
+fn main() {
+    let rules = single_rules();
+    let mut out = String::from("{\n  \"bench\": \"ematch\",\n  \"rounds\": ");
+    out.push_str(&ROUNDS.to_string());
+    out.push_str(",\n  \"models\": [\n");
+
+    for (mi, model) in MODELS.iter().enumerate() {
+        eprintln!("[bench-report] growing {model} e-graph...");
+        let eg = grow(model, &rules);
+
+        let count = |ms: &[tensat_egraph::SearchMatches]| -> usize {
+            ms.iter().map(|m| m.substs.len()).sum()
+        };
+        let queries: Vec<_> = rules.iter().map(|r| r.searcher_query()).collect();
+        let variants = measure(vec![
+            (
+                "naive",
+                Box::new(|| {
+                    rules
+                        .iter()
+                        .map(|r| count(&r.searcher.search_naive(&eg)))
+                        .sum()
+                }),
+            ),
+            (
+                "machine",
+                Box::new(|| rules.iter().map(|r| count(&r.searcher.search(&eg))).sum()),
+            ),
+            (
+                "guarded",
+                Box::new(|| rules.iter().map(|r| count(&r.search(&eg))).sum()),
+            ),
+            (
+                "parallel4",
+                Box::new(|| {
+                    tensat_egraph::search_all_guarded_parallel(&queries, &eg, 4)
+                        .iter()
+                        .map(|ms| count(ms))
+                        .sum()
+                }),
+            ),
+        ]);
+
+        let machine = variants.iter().find(|v| v.name == "machine").unwrap();
+        let guarded = variants.iter().find(|v| v.name == "guarded").unwrap();
+        let overhead_pct = (guarded.ns_per_search as f64 - machine.ns_per_search as f64)
+            / machine.ns_per_search as f64
+            * 100.0;
+
+        eprintln!(
+            "[bench-report] {model}: machine {} ns, guarded {} ns ({overhead_pct:+.1}% overhead), \
+             naive {} ns, parallel4 {} ns",
+            machine.ns_per_search,
+            guarded.ns_per_search,
+            variants[0].ns_per_search,
+            variants[3].ns_per_search,
+        );
+
+        out.push_str("    {\n      \"model\": \"");
+        out.push_str(model);
+        out.push_str("\",\n      \"enodes\": ");
+        out.push_str(&eg.total_number_of_nodes().to_string());
+        out.push_str(",\n      \"eclasses\": ");
+        out.push_str(&eg.number_of_classes().to_string());
+        out.push_str(",\n      \"guarded_overhead_pct\": ");
+        out.push_str(&format!("{overhead_pct:.2}"));
+        out.push_str(",\n      \"variants\": {\n");
+        for (vi, v) in variants.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {{ \"ns_per_search\": {}, \"matches\": {} }}{}\n",
+                v.name,
+                v.ns_per_search,
+                v.matches,
+                if vi + 1 < variants.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      }\n    }");
+        out.push_str(if mi + 1 < MODELS.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = "BENCH_egraph.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_egraph.json");
+    f.write_all(out.as_bytes()).expect("write report");
+    println!("[bench-report] wrote {path}");
+}

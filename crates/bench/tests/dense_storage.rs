@@ -1,0 +1,162 @@
+//! Acceptance tests of the dense slot-indexed e-graph storage on the real
+//! benchmark models: the refactor must be observationally invisible.
+//!
+//! 1. On every BENCHMARKS model, the compiled machine search equals the
+//!    legacy recursive oracle (`Pattern::search_naive`) for every rule on
+//!    the explored e-graph, and the storage passes the exhaustive
+//!    invariant validator ([`tensat_egraph::EGraph::check_invariants`]).
+//! 2. Saturating with watermark-based incremental search enabled reaches
+//!    the same e-graph as full search — same class/node counts, same
+//!    per-rule match-set sizes, same greedy *and* ILP extraction costs.
+//!
+//! (The dev container is single-core, so equality — not wall-clock — is
+//! the proof; pure-search speed is tracked by the `ematch_*` benches and
+//! the `bench_report` bin.)
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+use tensat_core::{extract_greedy, extract_ilp, IlpConfig};
+use tensat_egraph::{Id, Runner, SearchMatches, StopReason, Subst, Var};
+use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph};
+use tensat_models::{build_benchmark, ModelScale, BENCHMARKS};
+use tensat_rules::single_rules;
+
+/// Canonical set form of a match list (class identity collapsed to the
+/// canonical id *within one e-graph*).
+fn normalize(
+    eg: &TensorEGraph,
+    matches: &[SearchMatches],
+) -> BTreeMap<Id, BTreeSet<Vec<(Var, Id)>>> {
+    let mut out: BTreeMap<Id, BTreeSet<Vec<(Var, Id)>>> = BTreeMap::new();
+    for m in matches {
+        let substs = out.entry(eg.find(m.eclass)).or_default();
+        for s in &m.substs {
+            let mut bindings: Vec<(Var, Id)> =
+                Subst::iter(s).map(|(v, id)| (v, eg.find(id))).collect();
+            bindings.sort();
+            substs.insert(bindings);
+        }
+    }
+    out
+}
+
+/// Machine search must agree with the naive oracle for every rule on every
+/// explored benchmark model, and the dense storage must validate.
+#[test]
+fn machine_equals_naive_oracle_on_every_benchmark_model() {
+    let rules = single_rules();
+    for name in BENCHMARKS {
+        let graph = build_benchmark(name, ModelScale::tiny());
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        let root = eg.add_expr(&graph);
+        eg.rebuild();
+        tensat_core::explore(
+            &mut eg,
+            root,
+            &rules,
+            &[],
+            &tensat_core::ExplorationConfig {
+                max_iter: 1,
+                node_limit: 5_000,
+                search_threads: 1,
+                ..Default::default()
+            },
+        );
+        eg.check_invariants();
+        for rule in &rules {
+            let machine = rule.searcher.search(&eg);
+            let naive = rule.searcher.search_naive(&eg);
+            assert_eq!(
+                normalize(&eg, &machine),
+                normalize(&eg, &naive),
+                "model {name} rule {}: machine diverged from the naive oracle",
+                rule.name
+            );
+        }
+    }
+}
+
+/// Saturating with incremental (watermark-restricted) search reaches the
+/// same e-graph as full search: identical counts, per-rule match sets, and
+/// greedy + ILP extraction costs.
+#[test]
+fn incremental_saturation_matches_full_saturation_with_identical_extraction_costs() {
+    let rules = single_rules();
+    let model = CostModel::default();
+    // A subset of models keeps this under test-suite time budgets; the
+    // machine-vs-naive sweep above still covers every model.
+    for name in ["NasRNN", "BERT", "SqueezeNet"] {
+        let graph = build_benchmark(name, ModelScale::tiny());
+        let run = |incremental: bool| {
+            let mut runner = Runner::new(TensorAnalysis)
+                .with_expr(&graph)
+                .with_iter_limit(8)
+                .with_node_limit(20_000)
+                .with_time_limit(Duration::from_secs(60))
+                .with_incremental_search(incremental);
+            let reason = runner.run(&rules);
+            assert_eq!(
+                reason,
+                StopReason::Saturated,
+                "model {name} (incremental={incremental}) must saturate for the comparison to be meaningful"
+            );
+            runner
+        };
+        let full = run(false);
+        let incr = run(true);
+        full.egraph.check_invariants();
+        incr.egraph.check_invariants();
+
+        assert_eq!(
+            full.egraph.number_of_classes(),
+            incr.egraph.number_of_classes(),
+            "model {name}: class counts diverged"
+        );
+        assert_eq!(full.egraph.classes().count(), incr.egraph.classes().count());
+        assert_eq!(
+            full.egraph.total_number_of_nodes(),
+            incr.egraph.total_number_of_nodes(),
+            "model {name}: node counts diverged"
+        );
+        for rule in &rules {
+            let a = normalize(&full.egraph, &rule.search(&full.egraph));
+            let b = normalize(&incr.egraph, &rule.search(&incr.egraph));
+            assert_eq!(
+                a.len(),
+                b.len(),
+                "model {name} rule {}: match-class counts diverged",
+                rule.name
+            );
+            let substs = |m: &BTreeMap<Id, BTreeSet<Vec<(Var, Id)>>>| -> usize {
+                m.values().map(BTreeSet::len).sum()
+            };
+            assert_eq!(
+                substs(&a),
+                substs(&b),
+                "model {name} rule {}: substitution counts diverged",
+                rule.name
+            );
+        }
+
+        let greedy_full = extract_greedy(&full.egraph, full.roots[0], &model).unwrap();
+        let greedy_incr = extract_greedy(&incr.egraph, incr.roots[0], &model).unwrap();
+        assert!(
+            (greedy_full.cost - greedy_incr.cost).abs() < 1e-6,
+            "model {name}: greedy costs diverged ({} vs {})",
+            greedy_full.cost,
+            greedy_incr.cost
+        );
+        let ilp_config = IlpConfig {
+            time_limit: Duration::from_secs(20),
+            ..Default::default()
+        };
+        let (ilp_full, _) = extract_ilp(&full.egraph, full.roots[0], &model, &ilp_config).unwrap();
+        let (ilp_incr, _) = extract_ilp(&incr.egraph, incr.roots[0], &model, &ilp_config).unwrap();
+        assert!(
+            (ilp_full.cost - ilp_incr.cost).abs() < 1e-6,
+            "model {name}: ILP costs diverged ({} vs {})",
+            ilp_full.cost,
+            ilp_incr.cost
+        );
+    }
+}

@@ -84,7 +84,13 @@ fn filter_by_guards(
                 .iter()
                 .filter(|s| {
                     vars.iter().zip(preds).all(|(v, g)| match s.get(*v) {
-                        Some(id) => g(&eg.eclass(id).data),
+                        // Recompute the kind tag from the data (rather than
+                        // reading the e-graph's side table), so a stale tag
+                        // table would surface as a divergence here.
+                        Some(id) => {
+                            let data = &eg.eclass(id).data;
+                            g.check(data.kind_tag(), data)
+                        }
                         None => true,
                     })
                 })

@@ -65,11 +65,19 @@ impl BitSet {
 
 /// The per-iteration descendants map: for every e-class, the set of
 /// e-classes reachable through (unfiltered) e-node child edges.
+///
+/// Classes are addressed by the e-graph's own dense slot space
+/// ([`tensat_egraph::EGraph::slot_index`]) — the bit sets, the e-graph's
+/// class tables, and the extractors' cost tables all index the same slots,
+/// so translating between them is a `find` plus an array read instead of a
+/// per-class hash lookup.
 #[derive(Debug, Clone)]
 pub struct DescendantsMap {
-    /// Maps canonical class ids to dense indices.
-    pub index: HashMap<Id, usize>,
-    /// `desc[i]` is the descendant set of the class with dense index `i`.
+    /// Number of slots when the map was computed. Classes created after
+    /// that (slot >= `n`) have no recorded descendants — the pre-filter is
+    /// sound but not complete, as the paper notes.
+    n: usize,
+    /// `desc[s]` is the descendant set of the class in e-graph slot `s`.
     pub desc: Vec<BitSet>,
 }
 
@@ -78,20 +86,18 @@ impl DescendantsMap {
     /// (one pass per longest chain; cycles converge because bit sets only
     /// grow).
     pub fn compute(egraph: &TensorEGraph) -> Self {
-        let classes: Vec<Id> = egraph.classes().map(|c| egraph.find(c.id)).collect();
-        let n = classes.len();
-        let index: HashMap<Id, usize> = classes.iter().copied().zip(0..n).collect();
+        let n = egraph.num_slots();
         // Direct child edges.
         let mut children: Vec<Vec<usize>> = vec![vec![]; n];
         for class in egraph.classes() {
-            let ci = index[&egraph.find(class.id)];
+            let ci = egraph.slot_index(class.id).expect("iterated class is live");
             for node in class.iter() {
                 if egraph.is_filtered(node) {
                     continue;
                 }
                 for &child in node.children() {
-                    let child = egraph.find(child);
-                    children[ci].push(index[&child]);
+                    let child = egraph.slot_index(child).expect("child class is live");
+                    children[ci].push(child);
                 }
             }
         }
@@ -124,18 +130,17 @@ impl DescendantsMap {
                 }
             }
         }
-        DescendantsMap { index, desc }
+        DescendantsMap { n, desc }
     }
 
     /// True if `descendant` is reachable from `ancestor` (strictly below).
     pub fn is_descendant(&self, egraph: &TensorEGraph, ancestor: Id, descendant: Id) -> bool {
-        let a = egraph.find(ancestor);
-        let d = egraph.find(descendant);
-        match (self.index.get(&a), self.index.get(&d)) {
-            (Some(&ai), Some(&di)) => self.desc[ai].contains(di),
-            // Classes created after the map was built are treated as having
-            // no recorded descendants (the pre-filter is sound but not
-            // complete, as the paper notes).
+        match (egraph.slot_index(ancestor), egraph.slot_index(descendant)) {
+            // Classes created after the map was built (slots past its end)
+            // are treated as having no recorded descendants; slots are
+            // stable between rebuilds, so mid-iteration unions keep
+            // resolving to the slot recorded at build time.
+            (Some(ai), Some(di)) if ai < self.n && di < self.n => self.desc[ai].contains(di),
             _ => false,
         }
     }

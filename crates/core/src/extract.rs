@@ -10,7 +10,7 @@
 //!   with the cycle constraints (4)–(5) optional, solved by `tensat-ilp`
 //!   and warm-started from the greedy solution.
 
-use std::collections::HashMap;
+use crate::cycles::BitSet;
 use std::time::{Duration, Instant};
 use tensat_egraph::{CostFunction, Extractor, Id, Language, RecExpr};
 use tensat_ilp::{Cmp, Problem, Solver, Status, VarId};
@@ -69,33 +69,36 @@ impl std::error::Error for ExtractError {}
 
 /// A [`CostFunction`] charging each e-node its cost-model cost plus the sum
 /// of its children's costs (tree cost — the greedy approximation).
+///
+/// Reads class analysis data straight from the (shared, immutable) e-graph
+/// — an O(1) dense-slot access — instead of snapshotting every class's
+/// `TensorData` into a private hash map up front, as it did before the
+/// dense storage refactor.
 #[derive(Debug, Clone)]
-pub struct TreeCost {
+pub struct TreeCost<'a> {
     model: CostModel,
-    class_data: HashMap<Id, TensorData>,
+    egraph: &'a TensorEGraph,
 }
 
-impl TreeCost {
-    /// Snapshots the analysis data of the e-graph for cost evaluation.
-    pub fn new(model: CostModel, egraph: &TensorEGraph) -> Self {
-        TreeCost {
-            model,
-            class_data: egraph.classes().map(|c| (c.id, c.data.clone())).collect(),
-        }
+impl<'a> TreeCost<'a> {
+    /// A tree-cost function over the given e-graph's analysis data.
+    pub fn new(model: CostModel, egraph: &'a TensorEGraph) -> Self {
+        TreeCost { model, egraph }
     }
 }
 
-impl CostFunction<TensorLang> for TreeCost {
+impl CostFunction<TensorLang> for TreeCost<'_> {
     type Cost = f64;
     fn cost<C>(&mut self, enode: &TensorLang, mut costs: C) -> f64
     where
         C: FnMut(Id) -> f64,
     {
         let get = |id: Id| {
-            self.class_data
-                .get(&id)
-                .cloned()
-                .unwrap_or_else(|| TensorData::invalid("unknown class"))
+            if self.egraph.slot_index(id).is_some() {
+                self.egraph.eclass(id).data.clone()
+            } else {
+                TensorData::invalid("unknown class")
+            }
         };
         let own = self.model.node_cost(enode, &get);
         enode.children().iter().fold(own, |acc, &c| acc + costs(c))
@@ -160,9 +163,15 @@ pub fn extract_ilp(
 
     // Collect the classes reachable from the root through unfiltered,
     // finite-cost e-nodes, in BFS order (a good branching order for the
-    // solver: decisions near the root come first).
+    // solver: decisions near the root come first). All per-class tables
+    // below are indexed by the e-graph's dense slot space
+    // ([`tensat_egraph::EGraph::slot_index`]) — the same index space the
+    // cycle bit sets and the greedy extractor use.
+    let slot = |id: Id| egraph.slot_index(id).expect("reachable class is live");
+    let n_slots = egraph.num_slots();
     let mut order: Vec<Id> = vec![root];
-    let mut seen: std::collections::HashSet<Id> = [root].into_iter().collect();
+    let mut seen = BitSet::new(n_slots);
+    seen.insert(slot(root));
     let mut i = 0;
     while i < order.len() {
         let class = order[i];
@@ -173,7 +182,7 @@ pub fn extract_ilp(
             }
             for &child in node.children() {
                 let child = egraph.find(child);
-                if seen.insert(child) {
+                if seen.insert(slot(child)) {
                     order.push(child);
                 }
             }
@@ -183,7 +192,7 @@ pub fn extract_ilp(
     // Candidate e-nodes per class.
     let mut problem = Problem::new();
     let mut node_vars: Vec<(Id, TensorLang, VarId)> = vec![];
-    let mut class_vars: HashMap<Id, Vec<VarId>> = HashMap::new();
+    let mut class_vars: Vec<Vec<VarId>> = vec![vec![]; n_slots];
     for &class in &order {
         let mut vars = vec![];
         for node in egraph.eclass(class).iter() {
@@ -199,11 +208,11 @@ pub fn extract_ilp(
             node_vars.push((class, node.clone(), var));
             vars.push(var);
         }
-        class_vars.insert(class, vars);
+        class_vars[slot(class)] = vars;
     }
 
     // Constraint (2): exactly one node picked in the root class.
-    let root_vars = class_vars.get(&root).cloned().unwrap_or_default();
+    let root_vars = class_vars[slot(root)].clone();
     if root_vars.is_empty() {
         return Err(ExtractError::NoFiniteTerm);
     }
@@ -212,8 +221,7 @@ pub fn extract_ilp(
     // Constraint (3): a picked node needs one picked node in each child class.
     for (_, node, var) in &node_vars {
         for &child in node.children() {
-            let child = egraph.find(child);
-            let child_vars = class_vars.get(&child).cloned().unwrap_or_default();
+            let child_vars = &class_vars[slot(child)];
             if child_vars.is_empty() {
                 // The child class has no viable candidates: this node can
                 // never be selected.
@@ -229,7 +237,7 @@ pub fn extract_ilp(
     // Constraints (4)–(5): topological-order variables rule out cycles.
     if config.cycle_constraints {
         let m = order.len() as f64;
-        let mut topo: HashMap<Id, VarId> = HashMap::new();
+        let mut topo: Vec<Option<VarId>> = vec![None; n_slots];
         for &class in &order {
             let var = if config.integer_topo_vars {
                 problem.add_integer(0, order.len() as i64 - 1, 0.0)
@@ -237,14 +245,13 @@ pub fn extract_ilp(
                 problem.add_continuous(0.0, 1.0, 0.0)
             };
             problem.set_name(var, format!("t_{class}"));
-            topo.insert(class, var);
+            topo[slot(class)] = Some(var);
         }
         let eps = 1.0 / (m + 1.0);
         for (class, node, var) in &node_vars {
-            let t_own = topo[&egraph.find(*class)];
+            let t_own = topo[slot(*class)].expect("class is in the BFS order");
             for &child in node.children() {
-                let child = egraph.find(child);
-                let t_child = topo[&child];
+                let t_child = topo[slot(child)].expect("child is in the BFS order");
                 if config.integer_topo_vars {
                     // t_own - t_child + A(1 - x) >= 1, A >= M
                     let a = m;
@@ -314,13 +321,12 @@ pub fn extract_ilp(
         return Err(ExtractError::Infeasible);
     }
 
-    // Read the selection back: for each class, the chosen e-node.
-    let mut choice: HashMap<Id, TensorLang> = HashMap::new();
+    // Read the selection back: for each class (slot), the chosen e-node.
+    let mut choice: Vec<Option<TensorLang>> = vec![None; n_slots];
     for (class, node, var) in &node_vars {
-        if solution.value(*var) > 0.5 {
-            choice
-                .entry(egraph.find(*class))
-                .or_insert_with(|| node.clone());
+        let s = slot(*class);
+        if solution.value(*var) > 0.5 && choice[s].is_none() {
+            choice[s] = Some(node.clone());
         }
     }
     let expr = build_selection(egraph, root, &choice)?;
@@ -343,29 +349,32 @@ pub fn extract_ilp(
     Ok((outcome, stats))
 }
 
-/// Builds the extracted expression from a per-class node choice, detecting
+/// Builds the extracted expression from a per-slot node choice, detecting
 /// cyclic selections.
 fn build_selection(
     egraph: &TensorEGraph,
     root: Id,
-    choice: &HashMap<Id, TensorLang>,
+    choice: &[Option<TensorLang>],
 ) -> Result<RecExpr<TensorLang>, ExtractError> {
     fn rec(
         egraph: &TensorEGraph,
         class: Id,
-        choice: &HashMap<Id, TensorLang>,
+        choice: &[Option<TensorLang>],
         expr: &mut RecExpr<TensorLang>,
-        done: &mut HashMap<Id, Id>,
-        on_stack: &mut std::collections::HashSet<Id>,
+        done: &mut [Option<Id>],
+        on_stack: &mut BitSet,
     ) -> Result<Id, ExtractError> {
-        let class = egraph.find(class);
-        if let Some(&id) = done.get(&class) {
+        let slot = egraph.slot_index(class).ok_or(ExtractError::Infeasible)?;
+        if let Some(id) = done[slot] {
             return Ok(id);
         }
-        if !on_stack.insert(class) {
+        if !on_stack.insert(slot) {
             return Err(ExtractError::CyclicSelection);
         }
-        let node = choice.get(&class).ok_or(ExtractError::Infeasible)?.clone();
+        let node = choice
+            .get(slot)
+            .and_then(|c| c.clone())
+            .ok_or(ExtractError::Infeasible)?;
         let mut children = Vec::with_capacity(node.children().len());
         for &c in node.children() {
             children.push(rec(egraph, c, choice, expr, done, on_stack)?);
@@ -377,13 +386,12 @@ fn build_selection(
             id
         });
         let id = expr.add(node);
-        on_stack.remove(&class);
-        done.insert(class, id);
+        done[slot] = Some(id);
         Ok(id)
     }
     let mut expr = RecExpr::default();
-    let mut done = HashMap::new();
-    let mut on_stack = std::collections::HashSet::new();
+    let mut done = vec![None; egraph.num_slots()];
+    let mut on_stack = BitSet::new(egraph.num_slots());
     rec(egraph, root, choice, &mut expr, &mut done, &mut on_stack)?;
     Ok(expr)
 }

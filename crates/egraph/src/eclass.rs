@@ -22,13 +22,11 @@ pub struct EClass<L, D> {
     /// The analysis data for this class.
     pub data: D,
     /// Parent e-nodes (and the class they live in) that reference this
-    /// class as a child. May contain stale entries between rebuilds.
+    /// class as a child. Entries may be stale — non-canonical node forms,
+    /// absorbed target ids, duplicates — even on a clean e-graph: rebuild
+    /// repair only canonicalizes the parent lists of classes touched by a
+    /// union, and every internal consumer canonicalizes on use.
     pub(crate) parents: Vec<(L, Id)>,
-    /// Watermark stamp of the last event that could have changed the set of
-    /// pattern matches rooted in this class: a node added here, a union
-    /// involving this class, or (after a rebuild) any such event in a
-    /// transitive child class. See [`EGraph::watermark`](crate::EGraph::watermark).
-    pub(crate) touched: u64,
 }
 
 impl<L: Language, D> EClass<L, D> {
@@ -57,17 +55,13 @@ impl<L: Language, D> EClass<L, D> {
         self.nodes.iter().all(|n| n.is_leaf())
     }
 
-    /// The parents recorded for congruence repair (may be stale between
-    /// rebuilds). Exposed for diagnostics only.
+    /// The parents recorded for congruence repair. Exposed for diagnostics
+    /// only: entries may hold non-canonical node forms, absorbed class
+    /// ids, or duplicates — even on a clean e-graph (rebuild repair only
+    /// canonicalizes the parent lists of classes touched by a union) —
+    /// so canonicalize both components before comparing them against memo
+    /// keys or class node lists.
     pub fn parents(&self) -> impl Iterator<Item = (&L, Id)> {
         self.parents.iter().map(|(n, id)| (n, *id))
-    }
-
-    /// The watermark stamp of the last event that could have changed the
-    /// matches rooted in this class. Compare against a snapshot of
-    /// [`EGraph::watermark`](crate::EGraph::watermark) to skip classes in
-    /// incremental search.
-    pub fn last_touched(&self) -> u64 {
-        self.touched
     }
 }

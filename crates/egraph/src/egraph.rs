@@ -1,10 +1,13 @@
 //! The [`EGraph`] itself: hash-consed e-node storage, unioning, and
-//! congruence-closure rebuilding.
+//! congruence-closure rebuilding over dense slot-indexed class tables.
 
 use crate::{Analysis, EClass, Id, Language, RecExpr, UnionFind};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::mem::Discriminant;
+
+/// Sentinel for "this raw id is not (or no longer) a canonical class".
+const NO_SLOT: u32 = u32::MAX;
 
 /// An e-graph: a set of e-classes, each a set of equivalent e-nodes, with
 /// hash-consing (structural sharing) and incremental congruence closure.
@@ -13,6 +16,23 @@ use std::mem::Discriminant;
 /// are cheap and may temporarily break the congruence invariant; calling
 /// [`EGraph::rebuild`] restores it. Searching (pattern matching, extraction)
 /// should only be done on a clean (rebuilt) e-graph.
+///
+/// # Storage layout
+///
+/// Classes live in a dense slot table: `slots[s]` holds the class occupying
+/// slot `s`, and `slot_of[raw_id]` maps a *canonical* id to its slot, so
+/// [`EGraph::eclass`] is a `find` plus two array reads — O(1) on the
+/// e-matching hot path, where the old `BTreeMap` storage paid a tree walk
+/// per [`crate::Instruction`]. Live slots are always in ascending-id order:
+/// fresh classes append, a union tombstones the absorbed class's slot in
+/// place, and [`EGraph::rebuild`] compacts the tombstones away. Two side
+/// tables run parallel to `slots`: per-class touch stamps (incremental
+/// search) and the interned analysis *kind tag* ([`Analysis::kind_tag`],
+/// read by tag-mask guards), so the hottest per-candidate reads never touch
+/// the `EClass` itself. The operator index is maintained incrementally at
+/// `add`/`union` time (a class's operator set only ever grows), and
+/// `rebuild` repairs congruence with worklists proportional to the classes
+/// actually touched instead of re-canonicalizing the whole e-graph.
 ///
 /// In addition to the egg feature set, this e-graph supports a *filter set*
 /// of e-nodes that are considered removed: TENSAT's efficient cycle
@@ -50,15 +70,40 @@ pub struct EGraph<L: Language, N: Analysis<L>> {
     pub analysis: N,
     unionfind: UnionFind,
     memo: HashMap<L, Id>,
-    classes: BTreeMap<Id, EClass<L, N::Data>>,
-    /// Worklist of (e-node, class) pairs whose congruence must be repaired.
-    pending: Vec<(L, Id)>,
+    /// Dense class storage in ascending-id order among live entries; `None`
+    /// marks a class absorbed by a union since the last rebuild (compacted
+    /// away by [`EGraph::rebuild`]).
+    slots: Vec<Option<EClass<L, N::Data>>>,
+    /// Raw id → slot. Only entries for canonical ids are meaningful;
+    /// absorbed ids hold [`NO_SLOT`].
+    slot_of: Vec<u32>,
+    /// Side table parallel to `slots`: stamp of the last event that could
+    /// have changed the matches rooted in the class (see
+    /// [`EGraph::watermark`]).
+    touch: Vec<u64>,
+    /// Side table parallel to `slots`: interned kind tag of the class data
+    /// ([`Analysis::kind_tag`]), refreshed whenever the data is written.
+    tags: Vec<u8>,
+    /// Side table parallel to `slots`: operator discriminants present in
+    /// the class. Grow-only (nodes are never removed from a class), which
+    /// is what makes incremental operator-index upkeep sound.
+    class_ops: Vec<Vec<Discriminant<L>>>,
+    /// Number of live (non-tombstoned) slots.
+    live: usize,
+    /// Worklist of classes whose parent lists must be congruence-repaired:
+    /// the surviving root of every union performed since the last rebuild.
+    pending: Vec<Id>,
     /// Worklist of (e-node, class) pairs whose analysis data must be
     /// re-computed.
     analysis_pending: Vec<(L, Id)>,
+    /// Worklist of classes whose node lists must be re-canonicalized:
+    /// union roots plus the owning classes of repaired parent nodes.
+    node_repair: Vec<Id>,
     /// E-nodes considered removed (TENSAT cycle filter list). Keys are kept
-    /// canonical with respect to the current union-find.
+    /// canonical with respect to the union-find as of the last rebuild.
     filtered: HashSet<L>,
+    /// True if a union since the last rebuild may have staled filter keys.
+    filtered_dirty: bool,
     /// Global insertion counter used to stamp e-node births and class
     /// touches.
     ticker: u64,
@@ -72,7 +117,7 @@ pub struct EGraph<L: Language, N: Analysis<L>> {
     /// Operator index: maps an operator discriminant to the sorted, canonical
     /// ids of the classes containing at least one node with that operator
     /// (filtered nodes included — the matcher re-checks the filter set).
-    /// Rebuilt by [`EGraph::rebuild`]; only valid while the e-graph is clean.
+    /// Maintained incrementally by `add` and `union`.
     op_index: HashMap<Discriminant<L>, Vec<Id>>,
     /// Value of `ticker` at the end of the last rebuild; touch propagation
     /// seeds from classes touched since then.
@@ -91,10 +136,17 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             analysis,
             unionfind: UnionFind::new(),
             memo: HashMap::new(),
-            classes: BTreeMap::new(),
+            slots: vec![],
+            slot_of: vec![],
+            touch: vec![],
+            tags: vec![],
+            class_ops: vec![],
+            live: 0,
             pending: vec![],
             analysis_pending: vec![],
+            node_repair: vec![],
             filtered: HashSet::new(),
+            filtered_dirty: false,
             ticker: 0,
             clean: true,
             union_count: 0,
@@ -112,7 +164,30 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// The number of e-classes.
     pub fn number_of_classes(&self) -> usize {
-        self.classes.len()
+        self.live
+    }
+
+    /// The number of slots in the dense class tables — the exclusive upper
+    /// bound of [`EGraph::slot_index`]. On a clean e-graph every slot is
+    /// live, so this equals [`EGraph::number_of_classes`]; between a union
+    /// and the next rebuild it also counts tombstoned slots. Extractors and
+    /// cycle analyses size their per-class tables with this so they share
+    /// the e-graph's class index space.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The dense slot of the class containing `id` (canonicalized first),
+    /// or `None` if the id does not name a live class. Slots are stable
+    /// between rebuilds; [`EGraph::rebuild`] compacts them, so slot indices
+    /// must not be held across a rebuild.
+    #[inline]
+    pub fn slot_index(&self, id: Id) -> Option<usize> {
+        let id = self.find(id);
+        match self.slot_of.get(usize::from(id)) {
+            Some(&s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
     }
 
     /// The total number of e-nodes across all classes (including filtered
@@ -124,8 +199,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// The number of e-nodes not in the filter set.
     pub fn num_unfiltered_nodes(&self) -> usize {
-        self.classes
-            .values()
+        self.classes()
             .flat_map(|c| c.nodes.iter())
             .filter(|n| !self.filtered.contains(*n))
             .count()
@@ -137,6 +211,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// Canonicalizes an e-class id.
+    #[inline]
     pub fn find(&self, id: Id) -> Id {
         self.unionfind.find(id)
     }
@@ -151,14 +226,14 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         enode.map_children(|c| self.find(c))
     }
 
-    /// Iterates over all e-classes in id order.
+    /// Iterates over all e-classes in ascending id order.
     pub fn classes(&self) -> impl Iterator<Item = &EClass<L, N::Data>> {
-        self.classes.values()
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
-    /// Iterates mutably over all e-classes in id order.
+    /// Iterates mutably over all e-classes in ascending id order.
     pub fn classes_mut(&mut self) -> impl Iterator<Item = &mut EClass<L, N::Data>> {
-        self.classes.values_mut()
+        self.slots.iter_mut().filter_map(Option::as_mut)
     }
 
     /// Looks up an e-node, returning the canonical id of its class if it is
@@ -177,13 +252,16 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         }
         let id = self.unionfind.make_set();
         let data = N::make(self, &enode);
+        let tag = N::kind_tag(&data);
+        debug_assert!(tag < 32, "Analysis::kind_tag must return a tag below 32");
         let birth = self.ticker;
         self.ticker += 1;
         // Register this node as a parent of each child class.
         for &child in enode.children() {
             let child = self.find(child);
-            self.classes
-                .get_mut(&child)
+            let slot = self.slot_of[usize::from(child)] as usize;
+            self.slots[slot]
+                .as_mut()
                 .expect("child class must exist")
                 .parents
                 .push((enode.clone(), id));
@@ -194,17 +272,20 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             node_birth: vec![birth],
             data,
             parents: vec![],
-            touched: birth,
         };
-        self.classes.insert(id, class);
+        let op = enode.discriminant();
+        debug_assert_eq!(usize::from(id), self.slot_of.len());
+        self.slot_of.push(self.slots.len() as u32);
+        self.slots.push(Some(class));
+        self.touch.push(birth);
+        self.tags.push(tag);
+        self.class_ops.push(vec![op]);
+        self.live += 1;
         // Keep the operator index live across adds: plain adds preserve
         // cleanliness (no congruence repair is pending), so searches between
         // adds are legal and must see the new class. Fresh ids are strictly
         // increasing, so pushing keeps each bucket sorted.
-        self.op_index
-            .entry(enode.discriminant())
-            .or_default()
-            .push(id);
+        self.op_index.entry(op).or_default().push(id);
         self.memo.insert(enode, id);
         self.num_nodes += 1;
         N::modify(self, id);
@@ -238,6 +319,11 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// Unions two e-classes, returning the canonical id of the merged class
     /// and whether anything actually changed.
+    ///
+    /// The absorbed class's nodes and parent list are *moved* into the
+    /// surviving root (no clones); the only copies taken are the parent
+    /// snapshots queued for analysis repair, and only when
+    /// [`Analysis::merge`] reports the corresponding side changed.
     pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
         let a = self.find_mut(a);
         let b = self.find_mut(b);
@@ -245,38 +331,69 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             return (a, false);
         }
         self.clean = false;
+        self.filtered_dirty = true;
         self.union_count += 1;
         let root = self.unionfind.union(a, b);
         let other = if root == a { b } else { a };
 
-        let other_class = self
-            .classes
-            .remove(&other)
+        let other_slot = self.slot_of[usize::from(other)] as usize;
+        let other_class = self.slots[other_slot]
+            .take()
             .expect("non-root class must exist");
-        // The absorbed class's parents may now be congruent to existing
-        // nodes; queue them for repair.
-        self.pending.extend(other_class.parents.iter().cloned());
+        self.slot_of[usize::from(other)] = NO_SLOT;
+        self.live -= 1;
+        let root_slot = self.slot_of[usize::from(root)] as usize;
 
-        let root_class = self.classes.get_mut(&root).expect("root class must exist");
-        let root_parents_snapshot: Vec<(L, Id)> = root_class.parents.clone();
+        // Operator-index upkeep: the absorbed id leaves its buckets, the
+        // root enters the buckets of any operator it just gained. A class's
+        // operator set only ever grows (nodes are never removed), so this
+        // is the *only* place merged membership changes.
+        let other_ops = std::mem::take(&mut self.class_ops[other_slot]);
+        for op in other_ops {
+            let bucket = self.op_index.get_mut(&op).expect("op was indexed");
+            if let Ok(i) = bucket.binary_search(&other) {
+                bucket.remove(i);
+            }
+            if !self.class_ops[root_slot].contains(&op) {
+                self.class_ops[root_slot].push(op);
+                if let Err(i) = bucket.binary_search(&root) {
+                    bucket.insert(i, root);
+                }
+            }
+        }
 
-        root_class.nodes.extend(other_class.nodes);
-        root_class.node_birth.extend(other_class.node_birth);
-        root_class.parents.extend(other_class.parents.clone());
-        root_class.id = root;
-        root_class.touched = root_class.touched.max(other_class.touched).max(self.ticker);
+        self.touch[root_slot] = self.touch[root_slot]
+            .max(self.touch[other_slot])
+            .max(self.ticker);
         self.ticker += 1;
 
+        let root_class = self.slots[root_slot]
+            .as_mut()
+            .expect("root class must exist");
+        // Merge the analysis data *before* concatenating the parent lists:
+        // at this point `root_class.parents` is exactly the root's previous
+        // parent set and `other_class.parents` the absorbed one's, so the
+        // analysis worklist can be fed from them directly — no snapshot
+        // clones, and none at all when the data is unchanged.
         let did = self.analysis.merge(&mut root_class.data, other_class.data);
-        // If the kept data changed, the *root's* previous parents may need
-        // their data re-made; if the absorbed data changed, the absorbed
-        // class's parents do.
         if did.0 {
-            self.analysis_pending.extend(root_parents_snapshot);
+            self.analysis_pending
+                .extend(root_class.parents.iter().cloned());
         }
         if did.1 {
-            self.analysis_pending.extend(other_class.parents);
+            self.analysis_pending
+                .extend(other_class.parents.iter().cloned());
         }
+        root_class.nodes.extend(other_class.nodes);
+        root_class.node_birth.extend(other_class.node_birth);
+        root_class.parents.extend(other_class.parents);
+        root_class.id = root;
+        self.tags[root_slot] = N::kind_tag(&root_class.data);
+        // The root's parent list (now holding the absorbed class's parents
+        // too) must be congruence-repaired; its node list (now holding the
+        // absorbed nodes) must be re-canonicalized and deduplicated.
+        self.pending.push(root);
+        self.node_repair.push(root);
         N::modify(self, root);
         (root, true)
     }
@@ -284,30 +401,31 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// Restores the congruence and analysis invariants after a batch of
     /// `add`/`union` calls. Returns the number of unions performed during
     /// the repair.
+    ///
+    /// Repair work is proportional to the classes actually touched since
+    /// the last rebuild: the parent lists of union roots are canonicalized
+    /// in place (keeping the memo exact by removing each entry's previous
+    /// key form before re-inserting the canonical one), only the node lists
+    /// of touched classes are re-canonicalized, the operator index needs no
+    /// repair at all (it is maintained by `add`/`union`), and tombstoned
+    /// slots are compacted away at the end. In debug builds the full
+    /// [`EGraph::check_invariants`] validator runs after every rebuild.
     pub fn rebuild(&mut self) -> usize {
         let mut repairs = 0;
         loop {
-            // Congruence repair.
-            while let Some((node, class)) = self.pending.pop() {
-                let node = node.map_children(|c| self.find_mut(c));
-                let class = self.find_mut(class);
-                if let Some(old) = self.memo.insert(node, class) {
-                    let old = self.find_mut(old);
-                    if old != class {
-                        let (_, did) = self.union(old, class);
-                        if did {
-                            repairs += 1;
-                        }
-                    }
-                }
+            // Congruence repair, class-at-a-time over the union roots.
+            while let Some(class) = self.pending.pop() {
+                repairs += self.repair_parents(class);
             }
             // Analysis repair.
             while let Some((node, class)) = self.analysis_pending.pop() {
                 let class = self.find_mut(class);
                 let node = node.map_children(|c| self.find_mut(c));
                 let data = N::make(self, &node);
-                let class_ref = self.classes.get_mut(&class).expect("class must exist");
+                let slot = self.slot_of[usize::from(class)] as usize;
+                let class_ref = self.slots[slot].as_mut().expect("class must exist");
                 let did = self.analysis.merge(&mut class_ref.data, data);
+                self.tags[slot] = N::kind_tag(&class_ref.data);
                 if did.0 {
                     let parents = class_ref.parents.clone();
                     self.analysis_pending.extend(parents);
@@ -318,18 +436,177 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
                 break;
             }
         }
-        self.finalize_classes();
+        self.repair_class_nodes();
+        self.sweep_memo_if_stale();
+        self.refresh_filtered();
+        self.compact_slots();
         self.propagate_touches();
         self.clean = true;
+        #[cfg(debug_assertions)]
+        self.check_invariants();
         repairs
+    }
+
+    /// Canonicalizes one class's parent list in place and re-establishes
+    /// the congruence invariant for it: every entry's previous key form is
+    /// removed from the memo, the canonical form re-inserted, and a key
+    /// collision (two parents became congruent) triggers a union. Returns
+    /// the number of unions performed.
+    fn repair_parents(&mut self, class: Id) -> usize {
+        let class = self.find_mut(class);
+        let slot = self.slot_of[usize::from(class)] as usize;
+        let mut parents = std::mem::take(
+            &mut self.slots[slot]
+                .as_mut()
+                .expect("pending class must be live")
+                .parents,
+        );
+        if parents.is_empty() {
+            return 0;
+        }
+        for (n, p) in parents.iter_mut() {
+            // Remove the entry under its previous key *before*
+            // canonicalizing: the parent list always holds the exact form
+            // last inserted into the memo, so the memo never accumulates
+            // stale keys from this entry.
+            self.memo.remove(n);
+            *n = n.map_children(|c| self.unionfind.find_mut(c));
+            *p = self.unionfind.find_mut(*p);
+        }
+        parents.sort_unstable();
+        parents.dedup();
+        let mut repairs = 0;
+        for (n, p) in &parents {
+            // The owning class's node list now holds a stale form of `n`.
+            self.node_repair.push(*p);
+            if let Some(old) = self.memo.insert(n.clone(), *p) {
+                let old = self.find_mut(old);
+                let p = self.find_mut(*p);
+                if old != p {
+                    let (_, did) = self.union(old, p);
+                    if did {
+                        repairs += 1;
+                    }
+                }
+            }
+        }
+        // The unions above may have absorbed `class` itself; hand the
+        // repaired entries to whatever root now owns them (a re-queued root
+        // re-processes them — idempotently — on a later pop).
+        let root = self.find_mut(class);
+        let slot = self.slot_of[usize::from(root)] as usize;
+        self.slots[slot]
+            .as_mut()
+            .expect("union root must be live")
+            .parents
+            .extend(parents);
+        repairs
+    }
+
+    /// Re-canonicalizes, deduplicates (keeping the earliest birth stamp),
+    /// and sorts the node lists of the classes queued in `node_repair` —
+    /// exactly the classes whose nodes could have gone stale: union roots
+    /// and owners of repaired parent nodes.
+    fn repair_class_nodes(&mut self) {
+        let mut ids: Vec<Id> = std::mem::take(&mut self.node_repair)
+            .into_iter()
+            .map(|id| self.find_mut(id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let slot = self.slot_of[usize::from(id)] as usize;
+            let uf = &mut self.unionfind;
+            let class = self.slots[slot].as_mut().expect("repaired class is live");
+            let old_len = class.nodes.len();
+            let mut dedup: HashMap<L, u64> = HashMap::with_capacity(old_len);
+            for (node, birth) in class.nodes.drain(..).zip(class.node_birth.drain(..)) {
+                let node = node.map_children(|c| uf.find_mut(c));
+                let entry = dedup.entry(node).or_insert(birth);
+                *entry = (*entry).min(birth);
+            }
+            let mut pairs: Vec<(L, u64)> = dedup.into_iter().collect();
+            pairs.sort();
+            class.nodes = pairs.iter().map(|(n, _)| n.clone()).collect();
+            class.node_birth = pairs.iter().map(|(_, b)| *b).collect();
+            let new_len = class.nodes.len();
+            self.num_nodes -= old_len - new_len;
+        }
+    }
+
+    /// Collapses stale memo keys. Parent repair removes each entry's
+    /// previous key eagerly, but a chain of unions in one batch can strand
+    /// an intermediate form: a node's key is updated via child `a`'s parent
+    /// list, then child `c` is absorbed and `c`'s (older) copy of the entry
+    /// no longer names the key that is actually in the map. Stale keys are
+    /// harmless for lookups (queries are canonical) but break memo
+    /// exactness, so they are swept here. The sweep is skipped entirely
+    /// when the count proves the memo exact — `memo.len()` equals the node
+    /// count exactly when every canonical node has its one canonical entry
+    /// and nothing else — which is the common case for add-only or
+    /// shallow-union batches.
+    fn sweep_memo_if_stale(&mut self) {
+        if self.memo.len() == self.num_nodes {
+            return;
+        }
+        let memo = std::mem::take(&mut self.memo);
+        self.memo.reserve(self.num_nodes);
+        for (node, id) in memo {
+            let node = node.map_children(|c| self.unionfind.find_mut(c));
+            let id = self.unionfind.find_mut(id);
+            self.memo.insert(node, id);
+        }
+    }
+
+    /// Re-canonicalizes the filter set, if any union since the last rebuild
+    /// could have staled its keys.
+    fn refresh_filtered(&mut self) {
+        if !self.filtered_dirty {
+            return;
+        }
+        self.filtered_dirty = false;
+        if self.filtered.is_empty() {
+            return;
+        }
+        let filtered = std::mem::take(&mut self.filtered);
+        self.filtered = filtered
+            .into_iter()
+            .map(|n| n.map_children(|c| self.unionfind.find_mut(c)))
+            .collect();
+    }
+
+    /// Removes tombstoned slots, preserving ascending-id order of the
+    /// survivors, and rewrites the slot map accordingly.
+    fn compact_slots(&mut self) {
+        if self.live == self.slots.len() {
+            return;
+        }
+        let mut w = 0;
+        for r in 0..self.slots.len() {
+            if self.slots[r].is_some() {
+                if w != r {
+                    self.slots.swap(w, r);
+                    self.touch[w] = self.touch[r];
+                    self.tags[w] = self.tags[r];
+                    self.class_ops[w] = std::mem::take(&mut self.class_ops[r]);
+                }
+                let id = self.slots[w].as_ref().expect("just checked").id;
+                self.slot_of[usize::from(id)] = w as u32;
+                w += 1;
+            }
+        }
+        self.slots.truncate(w);
+        self.touch.truncate(w);
+        self.tags.truncate(w);
+        self.class_ops.truncate(w);
     }
 
     /// Propagates touch stamps to transitive parents: a class whose (direct
     /// or indirect) child gained nodes or was merged can root *new* pattern
     /// matches even though its own node list is unchanged, so incremental
-    /// search must revisit it. Runs after [`EGraph::finalize_classes`], when
-    /// parent lists are canonical. The parent-edge pass is skipped until a
-    /// watermark has been taken — non-incremental users pay nothing; the
+    /// search must revisit it. Runs after the repair passes, when parent
+    /// entries canonicalize cleanly. The parent-edge pass is skipped until
+    /// a watermark has been taken — non-incremental users pay nothing; the
     /// seed window below only grows while skipped, so the first tracked
     /// rebuild conservatively covers the gap.
     fn propagate_touches(&mut self) {
@@ -337,10 +614,14 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             let since = self.last_rebuild_ticker;
             let stamp = self.ticker;
             let queue: Vec<Id> = self
-                .classes
+                .slots
                 .iter()
-                .filter(|(_, c)| c.touched >= since)
-                .map(|(&id, _)| id)
+                .enumerate()
+                .filter_map(|(s, slot)| {
+                    slot.as_ref()
+                        .filter(|_| self.touch[s] >= since)
+                        .map(|c| c.id)
+                })
                 .collect();
             self.propagate_stamp(queue, stamp);
             // Consume the stamp so a watermark taken after this rebuild is
@@ -351,15 +632,22 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// BFS from `queue` through parent edges, stamping every reached class
-    /// with `stamp`. Requires canonical parent lists (a clean e-graph, or
-    /// right after [`EGraph::finalize_classes`]).
+    /// with `stamp`. Parent targets are canonicalized on the way (entries
+    /// may name absorbed classes between repairs of their owners).
     fn propagate_stamp(&mut self, mut queue: Vec<Id>, stamp: u64) {
         while let Some(id) = queue.pop() {
-            let parents: Vec<Id> = self.classes[&id].parents.iter().map(|&(_, p)| p).collect();
+            let slot = self.slot_of[usize::from(id)] as usize;
+            let parents: Vec<Id> = self.slots[slot]
+                .as_ref()
+                .expect("queued class is live")
+                .parents
+                .iter()
+                .map(|&(_, p)| self.find(p))
+                .collect();
             for p in parents {
-                let parent = self.classes.get_mut(&p).expect("parent class must exist");
-                if parent.touched < stamp {
-                    parent.touched = stamp;
+                let pslot = self.slot_of[usize::from(p)] as usize;
+                if self.touch[pslot] < stamp {
+                    self.touch[pslot] = stamp;
                     queue.push(p);
                 }
             }
@@ -380,81 +668,41 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.ticker
     }
 
-    /// The canonical ids of the classes containing at least one e-node with
-    /// the given operator discriminant (see [`Language::discriminant`]), in
-    /// ascending id order. Only meaningful on a clean e-graph: the index is
-    /// rebuilt by [`EGraph::rebuild`]. Filtered nodes are indexed too — the
-    /// index over-approximates, callers must still check the filter set.
-    pub fn classes_with_op(&self, op: Discriminant<L>) -> &[Id] {
-        self.op_index.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    /// The stamp of the last event that could have changed the set of
+    /// pattern matches rooted in `id`'s class: a node added there, a union
+    /// involving it, or (after a rebuild) any such event in a transitive
+    /// child class. One `find` plus one dense array read — this is the
+    /// incremental-search test on the match hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not name a live class.
+    #[inline]
+    pub fn last_touched(&self, id: Id) -> u64 {
+        let id = self.find(id);
+        self.touch[self.slot_of[usize::from(id)] as usize]
     }
 
-    /// Canonicalizes and deduplicates every class's node list, rebuilds the
-    /// parent lists, re-canonicalizes memo keys and the filter set.
-    fn finalize_classes(&mut self) {
-        // Canonicalize & dedup nodes within each class.
-        let ids: Vec<Id> = self.classes.keys().copied().collect();
-        for id in ids {
-            let mut class = self.classes.remove(&id).expect("class exists");
-            let mut dedup: HashMap<L, u64> = HashMap::with_capacity(class.nodes.len());
-            for (node, birth) in class.nodes.drain(..).zip(class.node_birth.drain(..)) {
-                let node = node.map_children(|c| self.unionfind.find_mut(c));
-                let entry = dedup.entry(node).or_insert(birth);
-                *entry = (*entry).min(birth);
-            }
-            let mut pairs: Vec<(L, u64)> = dedup.into_iter().collect();
-            pairs.sort();
-            class.nodes = pairs.iter().map(|(n, _)| n.clone()).collect();
-            class.node_birth = pairs.iter().map(|(_, b)| *b).collect();
-            class.parents.clear();
-            class.id = id;
-            self.classes.insert(id, class);
-        }
-        // Rebuild parent lists from scratch.
-        let mut parent_updates: Vec<(Id, L, Id)> = vec![];
-        for (&id, class) in &self.classes {
-            for node in &class.nodes {
-                for &child in node.children() {
-                    parent_updates.push((self.unionfind.find(child), node.clone(), id));
-                }
-            }
-        }
-        for (child, node, parent) in parent_updates {
-            self.classes
-                .get_mut(&child)
-                .expect("child class must exist")
-                .parents
-                .push((node, parent));
-        }
-        // Re-canonicalize memo.
-        let memo = std::mem::take(&mut self.memo);
-        for (node, id) in memo {
-            let node = node.map_children(|c| self.unionfind.find_mut(c));
-            let id = self.unionfind.find_mut(id);
-            self.memo.insert(node, id);
-        }
-        // Re-canonicalize the filter set.
-        let filtered = std::mem::take(&mut self.filtered);
-        self.filtered = filtered
-            .into_iter()
-            .map(|n| n.map_children(|c| self.unionfind.find_mut(c)))
-            .collect();
-        // Recount nodes (dedup above may have dropped some) and rebuild the
-        // operator index over the now-canonical classes. Iterating the
-        // BTreeMap in key order keeps every index bucket sorted by id.
-        self.num_nodes = 0;
-        self.op_index.clear();
-        for (&id, class) in &self.classes {
-            self.num_nodes += class.nodes.len();
-            let mut seen_ops: Vec<Discriminant<L>> = Vec::new();
-            for node in &class.nodes {
-                let op = node.discriminant();
-                if !seen_ops.contains(&op) {
-                    seen_ops.push(op);
-                    self.op_index.entry(op).or_default().push(id);
-                }
-            }
-        }
+    /// The interned kind tag ([`Analysis::kind_tag`]) of the class
+    /// containing `id`, read from the dense side table. One `find` plus one
+    /// array read — tag-mask guards ([`crate::Guard::tags`]) evaluate from
+    /// this without borrowing the class data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not name a live class.
+    #[inline]
+    pub fn kind_tag(&self, id: Id) -> u8 {
+        let id = self.find(id);
+        self.tags[self.slot_of[usize::from(id)] as usize]
+    }
+
+    /// The canonical ids of the classes containing at least one e-node with
+    /// the given operator discriminant (see [`Language::discriminant`]), in
+    /// ascending id order. Filtered nodes are indexed too — the index
+    /// over-approximates, callers must still check the filter set.
+    pub fn classes_with_op(&self, op: Discriminant<L>) -> &[Id] {
+        self.op_index.get(&op).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Marks an e-node as filtered (treated as removed). The node is
@@ -494,9 +742,9 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         let mut seeds = vec![];
         for node in &filtered {
             if let Some(id) = self.lookup(node) {
-                let class = self.classes.get_mut(&id).expect("class must exist");
-                if class.touched < stamp {
-                    class.touched = stamp;
+                let slot = self.slot_of[usize::from(id)] as usize;
+                if self.touch[slot] < stamp {
+                    self.touch[slot] = stamp;
                     seeds.push(id);
                 }
             }
@@ -511,32 +759,38 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 
     /// The birth stamp (global insertion counter) of an e-node, if present.
     pub fn node_birth(&self, class: Id, enode: &L) -> Option<u64> {
-        let class = self.find(class);
         let node = self.canonicalize(enode);
-        let c = self.classes.get(&class)?;
+        let c = self.eclass(class);
         c.nodes
             .iter()
             .position(|n| *n == node)
             .map(|i| c.node_birth[i])
     }
 
-    /// Access a class by (possibly non-canonical) id.
+    /// Access a class by (possibly non-canonical) id: one `find` plus two
+    /// dense array reads.
     ///
     /// # Panics
     ///
     /// Panics if the id does not name a live class.
+    #[inline]
     pub fn eclass(&self, id: Id) -> &EClass<L, N::Data> {
         let id = self.find(id);
-        self.classes
-            .get(&id)
+        self.slot_of
+            .get(usize::from(id))
+            .and_then(|&s| self.slots.get(s as usize))
+            .and_then(Option::as_ref)
             .unwrap_or_else(|| panic!("no class for id {id}"))
     }
 
     /// Mutable access to a class by (possibly non-canonical) id.
     pub fn eclass_mut(&mut self, id: Id) -> &mut EClass<L, N::Data> {
         let id = self.find(id);
-        self.classes
-            .get_mut(&id)
+        self.slot_of
+            .get(usize::from(id))
+            .copied()
+            .and_then(|s| self.slots.get_mut(s as usize))
+            .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("no class for id {id}"))
     }
 
@@ -552,11 +806,180 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         expr
     }
 
+    /// Exhaustively validates the storage invariants; panics (with a
+    /// description) on the first violation. O(e-graph), so it is wired into
+    /// debug builds only — [`EGraph::rebuild`] calls it after every repair
+    /// — and into the proptest suites; release builds never pay for it.
+    ///
+    /// Checked: the slot map is total and exact (every canonical id maps to
+    /// the live slot holding its class, tombstones only for absorbed ids,
+    /// live count right); on a *clean* e-graph additionally: class node
+    /// lists are canonical, sorted, deduplicated; the memo holds exactly
+    /// one canonical entry per e-node and nothing else; the incremental
+    /// node count is right; the kind-tag side table matches the data; the
+    /// operator index and per-class operator sets agree exactly with the
+    /// node lists (buckets sorted ascending); and every parent list,
+    /// canonicalized, equals the parent set derived from the node lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn check_invariants(&self) {
+        use std::collections::BTreeSet;
+        // --- slot map -------------------------------------------------------
+        assert_eq!(
+            self.slot_of.len(),
+            self.unionfind.size(),
+            "slot map must cover every id ever created"
+        );
+        let mut live = 0;
+        for (s, slot) in self.slots.iter().enumerate() {
+            if let Some(class) = slot {
+                live += 1;
+                assert_eq!(
+                    self.find(class.id),
+                    class.id,
+                    "slot {s} holds a non-canonical class {}",
+                    class.id
+                );
+                assert_eq!(
+                    self.slot_of[usize::from(class.id)] as usize,
+                    s,
+                    "slot map disagrees with slot {s}"
+                );
+            }
+        }
+        assert_eq!(live, self.live, "live-slot count out of sync");
+        for raw in 0..self.slot_of.len() {
+            let id = Id::from(raw);
+            if self.find(id) == id {
+                let s = self.slot_of[raw];
+                let ok = s != NO_SLOT
+                    && self
+                        .slots
+                        .get(s as usize)
+                        .is_some_and(|slot| slot.as_ref().is_some_and(|c| c.id == id));
+                assert!(ok, "canonical id {id} has no live slot");
+            }
+        }
+        if !self.clean {
+            // Node lists, memo, and parents are allowed to be stale between
+            // rebuilds; only the slot map is unconditionally exact.
+            return;
+        }
+
+        // --- nodes, memo, tags, operator index ------------------------------
+        let mut num_nodes = 0;
+        let mut expected_parents: HashMap<Id, BTreeSet<(L, Id)>> = HashMap::new();
+        for class in self.classes() {
+            let slot = self.slot_of[usize::from(class.id)] as usize;
+            assert_eq!(
+                self.tags[slot],
+                N::kind_tag(&class.data),
+                "kind-tag side table stale for class {}",
+                class.id
+            );
+            assert_eq!(
+                class.nodes.len(),
+                class.node_birth.len(),
+                "birth stamps must parallel nodes in class {}",
+                class.id
+            );
+            num_nodes += class.nodes.len();
+            let mut node_ops: Vec<Discriminant<L>> = vec![];
+            let mut prev: Option<&L> = None;
+            for node in &class.nodes {
+                assert_eq!(
+                    &self.canonicalize(node),
+                    node,
+                    "non-canonical node in class {}",
+                    class.id
+                );
+                if let Some(prev) = prev {
+                    assert!(prev < node, "node list of class {} unsorted", class.id);
+                }
+                prev = Some(node);
+                assert_eq!(
+                    self.memo.get(node).map(|&v| self.find(v)),
+                    Some(class.id),
+                    "memo misses node of class {}",
+                    class.id
+                );
+                let op = node.discriminant();
+                if !node_ops.contains(&op) {
+                    node_ops.push(op);
+                }
+                for &child in node.children() {
+                    expected_parents
+                        .entry(self.find(child))
+                        .or_default()
+                        .insert((node.clone(), class.id));
+                }
+            }
+            let mut class_ops = self.class_ops[slot].clone();
+            assert_eq!(
+                class_ops.len(),
+                node_ops.len(),
+                "operator membership wrong for class {}",
+                class.id
+            );
+            class_ops.retain(|op| node_ops.contains(op));
+            assert_eq!(
+                class_ops.len(),
+                node_ops.len(),
+                "operator membership lists an absent operator for class {}",
+                class.id
+            );
+            for op in &node_ops {
+                assert!(
+                    self.op_index
+                        .get(op)
+                        .is_some_and(|b| b.binary_search(&class.id).is_ok()),
+                    "operator index misses class {}",
+                    class.id
+                );
+            }
+        }
+        assert_eq!(num_nodes, self.num_nodes, "node count out of sync");
+        assert_eq!(
+            self.memo.len(),
+            num_nodes,
+            "memo must hold exactly one entry per e-node (stale keys present)"
+        );
+        for bucket in self.op_index.values() {
+            for pair in bucket.windows(2) {
+                assert!(pair[0] < pair[1], "operator-index bucket unsorted");
+            }
+            for &id in bucket {
+                assert_eq!(self.find(id), id, "operator index holds a dead id");
+            }
+        }
+
+        // --- parents --------------------------------------------------------
+        for class in self.classes() {
+            let got: BTreeSet<(L, Id)> = class
+                .parents
+                .iter()
+                .map(|(n, p)| (self.canonicalize(n), self.find(*p)))
+                .collect();
+            let want = expected_parents.remove(&class.id).unwrap_or_default();
+            assert_eq!(
+                got, want,
+                "parent list of class {} inconsistent with child membership",
+                class.id
+            );
+        }
+        assert!(
+            expected_parents.is_empty(),
+            "parent edges recorded for dead classes"
+        );
+    }
+
     /// Produces a Graphviz dot rendering of the e-graph (classes as
     /// clusters, e-nodes as records).
     pub fn to_dot(&self) -> String {
         let mut s = String::from("digraph egraph {\n  compound=true;\n  rankdir=TB;\n");
-        for class in self.classes.values() {
+        for class in self.classes() {
             s.push_str(&format!(
                 "  subgraph cluster_{} {{\n    label=\"{}\";\n",
                 class.id, class.id
@@ -577,7 +1000,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
             }
             s.push_str("  }\n");
         }
-        for class in self.classes.values() {
+        for class in self.classes() {
             for (i, node) in class.nodes.iter().enumerate() {
                 for &child in node.children() {
                     let child = self.find(child);
@@ -596,7 +1019,7 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
 impl<L: Language, N: Analysis<L>> fmt::Debug for EGraph<L, N> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EGraph")
-            .field("classes", &self.classes.len())
+            .field("classes", &self.live)
             .field("nodes", &self.total_number_of_nodes())
             .field("filtered", &self.filtered.len())
             .field("clean", &self.clean)
@@ -793,6 +1216,28 @@ mod tests {
         assert_eq!(ms.len(), pat.search_naive(&eg).len());
     }
 
+    /// The operator index must stay exact *between* rebuilds too: a union
+    /// performed mid-batch moves the absorbed id out of its buckets and
+    /// enrolls the root for any operator it gained, so the next rebuild has
+    /// nothing to repair.
+    #[test]
+    fn op_index_is_maintained_across_unions() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let m = eg.add(Math::Mul([a, two]));
+        let s = eg.add(Math::Shl([a, two]));
+        eg.union(m, s);
+        let root = eg.find(m);
+        let mul_key = Math::Mul([a, a]).discriminant();
+        let shl_key = Math::Shl([a, a]).discriminant();
+        assert_eq!(eg.classes_with_op(mul_key), &[root]);
+        assert_eq!(eg.classes_with_op(shl_key), &[root]);
+        eg.rebuild();
+        assert_eq!(eg.classes_with_op(mul_key), &[eg.find(m)]);
+        assert_eq!(eg.classes_with_op(shl_key), &[eg.find(m)]);
+    }
+
     /// `clear_filtered` re-enables nodes, creating matches that did not
     /// exist before; the owning classes and their ancestors must count as
     /// touched so watermark-restricted searches revisit them.
@@ -807,12 +1252,9 @@ mod tests {
         eg.filter_node(&Math::Mul([a, two]));
         let w = eg.watermark();
         eg.clear_filtered();
-        assert!(eg.eclass(mul).last_touched() >= w);
-        assert!(
-            eg.eclass(outer).last_touched() >= w,
-            "ancestors must be stamped"
-        );
-        assert!(eg.eclass(a).last_touched() < w, "children are unaffected");
+        assert!(eg.last_touched(mul) >= w);
+        assert!(eg.last_touched(outer) >= w, "ancestors must be stamped");
+        assert!(eg.last_touched(a) < w, "children are unaffected");
     }
 
     #[test]
@@ -846,16 +1288,16 @@ mod tests {
         eg.rebuild();
         let w = eg.watermark();
         // Nothing is touched at or after a fresh watermark.
-        assert!(eg.classes().all(|c| c.last_touched() < w));
+        assert!(eg.classes().all(|c| eg.last_touched(c.id) < w));
         // Touch the leaf `a`: its transitive parents (mul, outer) must be
         // stamped by the rebuild, the unrelated literal must not.
         let b = eg.add(sym("b"));
         eg.union(a, b);
         eg.rebuild();
-        assert!(eg.eclass(a).last_touched() >= w);
-        assert!(eg.eclass(mul).last_touched() >= w);
-        assert!(eg.eclass(outer).last_touched() >= w);
-        assert!(eg.eclass(two).last_touched() < w);
+        assert!(eg.last_touched(a) >= w);
+        assert!(eg.last_touched(mul) >= w);
+        assert!(eg.last_touched(outer) >= w);
+        assert!(eg.last_touched(two) < w);
     }
 
     /// The parallel search driver shares `&EGraph` across scoped threads;
@@ -918,6 +1360,9 @@ mod tests {
                 (None, None) => DidMerge(false, false),
             }
         }
+        fn kind_tag(data: &Self::Data) -> u8 {
+            data.is_some() as u8
+        }
     }
 
     #[test]
@@ -927,10 +1372,46 @@ mod tests {
         let two = eg.add(Math::Num(2));
         let a_plus_2 = eg.add(Math::Add([a, two]));
         assert_eq!(eg.eclass(a_plus_2).data, None);
+        assert_eq!(eg.kind_tag(a_plus_2), 0);
         // Learn that a == 3; then a + 2 should fold to 5 after rebuild.
         let three = eg.add(Math::Num(3));
         eg.union(a, three);
         eg.rebuild();
         assert_eq!(eg.eclass(a_plus_2).data, Some(5));
+        // The dense kind-tag side table follows the data through repair.
+        assert_eq!(eg.kind_tag(a_plus_2), 1);
+        assert_eq!(eg.kind_tag(a), 1);
+    }
+
+    /// The dense slot tables stay exact through add/union/rebuild cycles:
+    /// tombstones appear on union, compaction removes them, and the slot
+    /// order always matches ascending canonical-id order (which is what
+    /// keeps `classes()` iteration — and with it every match and
+    /// extraction order — identical to the old `BTreeMap` storage).
+    #[test]
+    fn slots_compact_and_stay_in_id_order() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let mut ids = vec![];
+        for i in 0..10 {
+            ids.push(eg.add(sym(&format!("s{i}"))));
+        }
+        assert_eq!(eg.num_slots(), 10);
+        eg.union(ids[3], ids[7]);
+        eg.union(ids[1], ids[9]);
+        // Tombstones exist until the rebuild; live count is already right.
+        assert_eq!(eg.number_of_classes(), 8);
+        assert_eq!(eg.num_slots(), 10);
+        eg.rebuild();
+        assert_eq!(eg.num_slots(), 8);
+        let listed: Vec<Id> = eg.classes().map(|c| c.id).collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted, "classes() must iterate in id order");
+        for (expect, &id) in listed.iter().enumerate() {
+            assert_eq!(eg.slot_index(id), Some(expect));
+        }
+        // Absorbed ids resolve to their root's slot.
+        assert_eq!(eg.slot_index(ids[7]), eg.slot_index(ids[3]));
+        eg.check_invariants();
     }
 }

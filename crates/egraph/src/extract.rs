@@ -88,13 +88,18 @@ impl<L: Language> CostFunction<L> for AstDepth {
 pub struct Extractor<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> {
     egraph: &'a EGraph<L, N>,
     cost_fn: std::cell::RefCell<CF>,
-    best: HashMap<Id, (CF::Cost, L)>,
+    /// Best (cost, node) per class, indexed by the e-graph's dense slot
+    /// space ([`EGraph::slot_index`]) — no hashing on the extraction path.
+    best: Vec<Option<(CF::Cost, L)>>,
 }
 
 impl<L: Language, N: Analysis<L>, CF: CostFunction<L>> std::fmt::Debug for Extractor<'_, L, N, CF> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Extractor")
-            .field("classes_with_cost", &self.best.len())
+            .field(
+                "classes_with_cost",
+                &self.best.iter().filter(|b| b.is_some()).count(),
+            )
             .finish()
     }
 }
@@ -105,7 +110,7 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         let mut extractor = Extractor {
             egraph,
             cost_fn: std::cell::RefCell::new(cost_fn),
-            best: HashMap::new(),
+            best: (0..egraph.num_slots()).map(|_| None).collect(),
         };
         extractor.compute_costs();
         extractor
@@ -117,16 +122,19 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         while changed {
             changed = false;
             for class in self.egraph.classes() {
+                let slot = self
+                    .egraph
+                    .slot_index(class.id)
+                    .expect("iterated class is live");
                 for node in class.iter() {
                     if self.egraph.is_filtered(node) {
                         continue;
                     }
                     if let Some(cost) = self.node_cost(node) {
-                        let id = self.egraph.find(class.id);
-                        match self.best.get(&id) {
+                        match &self.best[slot] {
                             Some((best, _)) if *best <= cost => {}
                             _ => {
-                                self.best.insert(id, (cost, node.clone()));
+                                self.best[slot] = Some((cost, node.clone()));
                                 changed = true;
                             }
                         }
@@ -136,24 +144,31 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
         }
     }
 
+    /// The best entry recorded for a class's slot, if any.
+    fn best_entry(&self, id: Id) -> Option<&(CF::Cost, L)> {
+        self.best[self.egraph.slot_index(id)?].as_ref()
+    }
+
     /// Cost of an e-node if all its children already have best costs.
     fn node_cost(&self, node: &L) -> Option<CF::Cost> {
-        let all_known = node.all(|c| self.best.contains_key(&self.egraph.find(c)));
+        let all_known = node.all(|c| self.best_entry(c).is_some());
         if !all_known {
             return None;
         }
         let mut cf = self.cost_fn.borrow_mut();
-        Some(cf.cost(node, |c| self.best[&self.egraph.find(c)].0.clone()))
+        Some(cf.cost(node, |c| {
+            self.best_entry(c).expect("checked above").0.clone()
+        }))
     }
 
     /// The best cost of a class, if any finite term is represented.
     pub fn best_cost(&self, id: Id) -> Option<CF::Cost> {
-        self.best.get(&self.egraph.find(id)).map(|(c, _)| c.clone())
+        self.best_entry(id).map(|(c, _)| c.clone())
     }
 
     /// The chosen e-node for a class.
     pub fn best_node(&self, id: Id) -> Option<&L> {
-        self.best.get(&self.egraph.find(id)).map(|(_, n)| n)
+        self.best_entry(id).map(|(_, n)| n)
     }
 
     /// Extracts the best term rooted at `root`, returning its cost and the

@@ -70,7 +70,9 @@ pub use eclass::EClass;
 pub use egraph::EGraph;
 pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
 pub use language::{Id, Language, Symbol};
-pub use machine::{GuardFn, GuardedProgram, Instruction, Program, Reg, SearchQuery};
+pub use machine::{
+    Guard, GuardFn, GuardedProgram, Instruction, Program, Reg, SearchQuery, TagMask,
+};
 pub use pattern::{
     search_all_guarded_parallel, search_all_guarded_since_parallel, search_all_parallel,
     search_all_since_parallel, ENodeOrVar, Pattern, SearchMatches, Subst, Var,

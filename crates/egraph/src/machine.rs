@@ -56,13 +56,121 @@ pub type Reg = usize;
 /// of the class data it is given.
 pub type GuardFn<D> = Arc<dyn Fn(&D) -> bool + Send + Sync>;
 
+/// A bitmask over interned analysis kind tags ([`Analysis::kind_tag`]):
+/// bit `t` set means a class whose data has kind tag `t` is admissible.
+pub type TagMask = u32;
+
+/// An analysis guard: the per-variable admissibility test evaluated by
+/// [`Instruction::Guard`] mid-match. A guard is the conjunction of
+///
+/// * a **tag mask** over the interned per-class kind tags
+///   ([`Analysis::kind_tag`], stored in a dense side table read by
+///   [`EGraph::kind_tag`]) — evaluated with one array read and one bit
+///   test, no dynamic dispatch and no borrow of the class data; and
+/// * an optional **dynamic predicate** ([`GuardFn`]) over the full class
+///   data, for guards that need more than the coarse kind.
+///
+/// Guards whose condition is a pure function of the data's kind (e.g.
+/// TENSAT's "this variable must bind a valid tensor" shape guards) compile
+/// to a bare mask via [`Guard::tags`], which is what erases the
+/// `Arc<dyn Fn>` call from the guard hot path. Both parts must be pure
+/// functions of the class data for guarded search to stay equivalent to
+/// unguarded-then-filtered search.
+pub struct Guard<D> {
+    mask: TagMask,
+    pred: Option<GuardFn<D>>,
+}
+
+// Manual impl: `derive` would require `D: Clone`, but only the `Arc` is
+// cloned.
+impl<D> Clone for Guard<D> {
+    fn clone(&self) -> Self {
+        Guard {
+            mask: self.mask,
+            pred: self.pred.clone(),
+        }
+    }
+}
+
+impl<D> Guard<D> {
+    /// A guard accepting exactly the classes whose kind tag is in `mask`.
+    pub fn tags(mask: TagMask) -> Self {
+        Guard { mask, pred: None }
+    }
+
+    /// A guard accepting exactly the classes whose data satisfies `f`
+    /// (every kind tag is admissible; the predicate alone decides).
+    pub fn from_fn(f: impl Fn(&D) -> bool + Send + Sync + 'static) -> Self {
+        Guard {
+            mask: TagMask::MAX,
+            pred: Some(Arc::new(f)),
+        }
+    }
+
+    /// A guard from an existing shared predicate; see [`Guard::from_fn`].
+    pub fn from_arc(f: GuardFn<D>) -> Self {
+        Guard {
+            mask: TagMask::MAX,
+            pred: Some(f),
+        }
+    }
+
+    /// The conjunction of two guards: masks intersect, predicates compose.
+    pub fn and(self, other: Self) -> Self
+    where
+        D: 'static,
+    {
+        let pred = match (self.pred, other.pred) {
+            (Some(a), Some(b)) => Some(Arc::new(move |d: &D| a(d) && b(d)) as GuardFn<D>),
+            (one, None) | (None, one) => one,
+        };
+        Guard {
+            mask: self.mask & other.mask,
+            pred,
+        }
+    }
+
+    /// The tag mask part of the guard ([`TagMask::MAX`] = unconstrained).
+    pub fn mask(&self) -> TagMask {
+        self.mask
+    }
+
+    /// The dynamic-predicate part of the guard, if any.
+    pub fn pred(&self) -> Option<&GuardFn<D>> {
+        self.pred.as_ref()
+    }
+
+    /// True if the mask admits the given kind tag. Tags at or above 32 are
+    /// outside the mask's range and never admissible.
+    #[inline]
+    pub fn admits_tag(&self, tag: u8) -> bool {
+        self.mask & 1u32.checked_shl(tag as u32).unwrap_or(0) != 0
+    }
+
+    /// The full guard semantics — the reference the differential tests
+    /// filter with: the tag passes the mask *and* the data passes the
+    /// predicate (if any). `tag` must be the data's [`Analysis::kind_tag`].
+    pub fn check(&self, tag: u8, data: &D) -> bool {
+        self.admits_tag(tag) && self.pred.as_ref().is_none_or(|p| p(data))
+    }
+}
+
+impl<D> std::fmt::Debug for Guard<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Guard")
+            .field("mask", &format_args!("{:#x}", self.mask))
+            .field("dyn", &self.pred.is_some())
+            .finish()
+    }
+}
+
 /// A `(program, guard table)` pair, the unit the batch search drivers take
 /// (see [`crate::search_all_guarded_parallel`]). An empty table means the
 /// program is unguarded; a guarded program's table must be parallel to its
 /// [`Program::guard_vars`]. Obtained from
 /// [`GuardedProgram::query`] or
 /// [`Rewrite::searcher_query`](crate::Rewrite::searcher_query).
-pub type SearchQuery<'a, L, D> = (&'a Program<L>, &'a [GuardFn<D>]);
+pub type SearchQuery<'a, L, D> = (&'a Program<L>, &'a [Guard<D>]);
 
 /// One step of a compiled pattern program.
 #[derive(Debug, Clone)]
@@ -301,7 +409,7 @@ impl<L: Language> Program<L> {
     pub fn search_guarded<N: Analysis<L>>(
         &self,
         egraph: &EGraph<L, N>,
-        guards: &[GuardFn<N::Data>],
+        guards: &[Guard<N::Data>],
     ) -> Vec<SearchMatches> {
         self.search_since_guarded(egraph, 0, guards)
     }
@@ -330,7 +438,7 @@ impl<L: Language> Program<L> {
         &self,
         egraph: &EGraph<L, N>,
         watermark: u64,
-        guards: &[GuardFn<N::Data>],
+        guards: &[Guard<N::Data>],
     ) -> Vec<SearchMatches> {
         self.check_guard_table(guards.len());
         debug_assert!(
@@ -343,7 +451,7 @@ impl<L: Language> Program<L> {
         match self.root_op {
             Some(op) => {
                 for &id in egraph.classes_with_op(op) {
-                    if egraph.eclass(id).last_touched() < watermark {
+                    if egraph.last_touched(id) < watermark {
                         continue;
                     }
                     if let Some(m) = self.search_class(egraph, &mut machine, &lookups, guards, id) {
@@ -353,7 +461,7 @@ impl<L: Language> Program<L> {
             }
             None => {
                 for class in egraph.classes() {
-                    if class.last_touched() < watermark {
+                    if egraph.last_touched(class.id) < watermark {
                         continue;
                     }
                     if let Some(m) =
@@ -429,7 +537,7 @@ impl<L: Language> Program<L> {
         &self,
         egraph: &EGraph<L, N>,
         watermark: u64,
-        guards: &[GuardFn<N::Data>],
+        guards: &[Guard<N::Data>],
         n_threads: usize,
     ) -> Vec<SearchMatches>
     where
@@ -452,11 +560,11 @@ impl<L: Language> Program<L> {
                 .classes_with_op(op)
                 .iter()
                 .copied()
-                .filter(|&id| egraph.eclass(id).last_touched() >= watermark)
+                .filter(|&id| egraph.last_touched(id) >= watermark)
                 .collect(),
             None => egraph
                 .classes()
-                .filter(|class| class.last_touched() >= watermark)
+                .filter(|class| egraph.last_touched(class.id) >= watermark)
                 .map(|class| class.id)
                 .collect(),
         }
@@ -487,7 +595,7 @@ impl<L: Language> Program<L> {
         egraph: &EGraph<L, N>,
         machine: &mut Machine,
         lookups: &[Option<Id>],
-        guards: &[GuardFn<N::Data>],
+        guards: &[Guard<N::Data>],
         eclass: Id,
     ) -> Option<SearchMatches> {
         machine.regs.clear();
@@ -529,7 +637,7 @@ impl<L: Language> Program<L> {
 #[derive(Clone)]
 pub struct GuardedProgram<L, D> {
     program: Program<L>,
-    guards: Vec<GuardFn<D>>,
+    guards: Vec<Guard<D>>,
 }
 
 impl<L: Language, D> GuardedProgram<L, D> {
@@ -541,22 +649,22 @@ impl<L: Language, D> GuardedProgram<L, D> {
     /// # Panics
     ///
     /// Panics if the pattern is empty.
-    pub fn compile(pattern: &RecExpr<ENodeOrVar<L>>, guards: &[(Var, GuardFn<D>)]) -> Self
+    pub fn compile(pattern: &RecExpr<ENodeOrVar<L>>, guards: &[(Var, Guard<D>)]) -> Self
     where
         D: 'static,
     {
         let mut vars: Vec<Var> = vec![];
-        let mut preds: Vec<GuardFn<D>> = vec![];
-        for (var, pred) in guards {
+        let mut preds: Vec<Guard<D>> = vec![];
+        for (var, guard) in guards {
+            let guard: Guard<D> = guard.clone();
             match vars.iter().position(|v| v == var) {
                 Some(i) => {
                     // Conjoin duplicate guards for one variable.
-                    let (a, b) = (preds[i].clone(), pred.clone());
-                    preds[i] = Arc::new(move |d: &D| a(d) && b(d));
+                    preds[i] = preds[i].clone().and(guard);
                 }
                 None => {
                     vars.push(*var);
-                    preds.push(pred.clone());
+                    preds.push(guard);
                 }
             }
         }
@@ -572,9 +680,9 @@ impl<L: Language, D> GuardedProgram<L, D> {
         &self.program
     }
 
-    /// The guard-predicate table, parallel to
+    /// The guard table, parallel to
     /// [`Program::guard_vars`](Program::guard_vars).
-    pub fn guards(&self) -> &[GuardFn<D>] {
+    pub fn guards(&self) -> &[Guard<D>] {
         &self.guards
     }
 
@@ -816,7 +924,7 @@ struct MachineCtx<'a, L: Language, N: Analysis<L>> {
     egraph: &'a EGraph<L, N>,
     instructions: &'a [Instruction<L>],
     lookups: &'a [Option<Id>],
-    guards: &'a [GuardFn<N::Data>],
+    guards: &'a [Guard<N::Data>],
     subst_template: &'a [(Var, Reg)],
 }
 
@@ -865,12 +973,20 @@ impl Machine {
                 }
                 Instruction::Guard { i, pred } => {
                     // Analysis-guided pruning: reject the branch if the
-                    // bound class's analysis data fails the predicate. The
-                    // register already holds a canonical id and `eclass`
-                    // canonicalizes again, so the data is the class's
-                    // current (post-rebuild) value.
-                    if !ctx.guards[*pred](&egraph.eclass(self.regs[*i]).data) {
+                    // bound class fails the guard. The interned kind tag is
+                    // tested first — one dense array read, which is the
+                    // *whole* evaluation for kind-only guards — and only a
+                    // guard carrying a dynamic predicate goes on to borrow
+                    // the full class data and pay the `Arc<dyn>` call.
+                    let guard = &ctx.guards[*pred];
+                    let class = self.regs[*i];
+                    if !guard.admits_tag(egraph.kind_tag(class)) {
                         return;
+                    }
+                    if let Some(pred) = guard.pred() {
+                        if !pred(&egraph.eclass(class).data) {
+                            return;
+                        }
                     }
                 }
             }
@@ -1067,6 +1183,9 @@ mod tests {
         fn merge(&mut self, to: &mut i64, from: i64) -> crate::DidMerge {
             crate::merge_max(to, from)
         }
+        fn kind_tag(data: &i64) -> u8 {
+            (*data >= 0) as u8
+        }
     }
 
     #[test]
@@ -1121,8 +1240,9 @@ mod tests {
         eg.rebuild();
 
         let pattern = mul_by_two();
-        let pred: GuardFn<i64> = Arc::new(|d: &i64| *d >= 0);
-        let guarded = GuardedProgram::compile(&pattern.ast, &[(Var::new("x"), pred.clone())]);
+        let pred = |d: &i64| *d >= 0;
+        let guarded =
+            GuardedProgram::compile(&pattern.ast, &[(Var::new("x"), Guard::from_fn(pred))]);
 
         let unguarded = pattern.search(&eg);
         assert_eq!(unguarded.len(), 2);
@@ -1142,6 +1262,30 @@ mod tests {
         }
     }
 
+    /// A pure tag-mask guard prunes exactly the classes whose interned kind
+    /// tag falls outside the mask — with no predicate call at all. MaxNum
+    /// tags literal-holding classes 1 and operator classes 0.
+    #[test]
+    fn tag_mask_guard_prunes_by_interned_tag() {
+        let mut eg: EGraph<Math, MaxNum> = EGraph::new(MaxNum);
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let three = eg.add(Math::Num(3));
+        eg.add(Math::Mul([a, two])); // ?x -> a: tag 0, pruned
+        let kept = eg.add(Math::Mul([three, two])); // ?x -> 3: tag 1, kept
+        eg.rebuild();
+        assert_eq!(eg.kind_tag(a), 0);
+        assert_eq!(eg.kind_tag(three), 1);
+
+        let pattern = mul_by_two();
+        let guard: Guard<i64> = Guard::tags(1 << 1);
+        assert!(guard.pred().is_none(), "kind-only guard carries no dyn fn");
+        let guarded = GuardedProgram::compile(&pattern.ast, &[(Var::new("x"), guard)]);
+        let ms = guarded.search(&eg);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].eclass, eg.find(kept));
+    }
+
     #[test]
     fn duplicate_guards_for_one_variable_are_conjoined() {
         let mut eg: EGraph<Math, MaxNum> = EGraph::new(MaxNum);
@@ -1151,8 +1295,8 @@ mod tests {
         eg.add(Math::Mul([four, two])); // 4: even and >= 3, kept
         eg.rebuild();
         let pattern = mul_by_two();
-        let even: GuardFn<i64> = Arc::new(|d| d % 2 == 0);
-        let big: GuardFn<i64> = Arc::new(|d| *d >= 3);
+        let even = Guard::from_fn(|d: &i64| d % 2 == 0);
+        let big = Guard::from_fn(|d: &i64| *d >= 3);
         let guarded =
             GuardedProgram::compile(&pattern.ast, &[(Var::new("x"), even), (Var::new("x"), big)]);
         let ms = guarded.search(&eg);

@@ -3,7 +3,7 @@
 //! per-variable analysis guards that push the condition's per-variable
 //! part into the e-matching machine.
 
-use crate::machine::{GuardFn, GuardedProgram, SearchQuery};
+use crate::machine::{Guard, GuardedProgram, SearchQuery};
 use crate::{Analysis, EGraph, Id, Language, Pattern, SearchMatches, Subst, Var};
 use std::fmt;
 use std::sync::Arc;
@@ -119,12 +119,12 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
     /// matched classes' analysis data, and any event that changes that data
     /// (a union, directly or through congruence) touches those classes, so
     /// a flipped guard re-surfaces the match.
-    pub fn with_guards(mut self, guards: Vec<(Var, GuardFn<N::Data>)>) -> Self
+    pub fn with_guards(mut self, guards: Vec<(Var, Guard<N::Data>)>) -> Self
     where
         N::Data: 'static,
     {
         let searcher_vars = self.searcher.vars();
-        let guards: Vec<(Var, GuardFn<N::Data>)> = guards
+        let guards: Vec<(Var, Guard<N::Data>)> = guards
             .into_iter()
             .filter(|(v, _)| searcher_vars.contains(v))
             .collect();

@@ -56,6 +56,7 @@ impl UnionFind {
             .count()
     }
 
+    #[inline]
     fn parent(&self, id: Id) -> Id {
         self.parents[usize::from(id)]
     }
@@ -66,6 +67,7 @@ impl UnionFind {
     /// # Panics
     ///
     /// Panics if `id` was not created by this union-find.
+    #[inline]
     pub fn find(&self, mut id: Id) -> Id {
         assert!(
             usize::from(id) < self.parents.len(),

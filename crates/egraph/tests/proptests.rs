@@ -3,11 +3,10 @@
 
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
 use tensat_egraph::doctest_lang::SimpleMath as Math;
 use tensat_egraph::{
-    search_all_parallel, Analysis, AstSize, DidMerge, EGraph, ENodeOrVar, Extractor, GuardFn,
-    GuardedProgram, Id, Pattern, RecExpr, SearchMatches, Subst, Symbol, Var,
+    search_all_parallel, Analysis, AstSize, DidMerge, EGraph, ENodeOrVar, Extractor, Guard,
+    GuardedProgram, Id, Language, Pattern, RecExpr, SearchMatches, Subst, Symbol, Var,
 };
 
 /// A random expression generator: a sequence of build steps referencing
@@ -309,29 +308,42 @@ impl Analysis<Math> for ConstAnalysis {
             _ => DidMerge(false, false),
         }
     }
-}
-
-/// The pool of guard predicates the proptests draw from (index 0 = no
-/// guard). All are pure functions of the class data, as guards must be.
-fn guard_pool(choice: u8) -> Option<GuardFn<Option<i64>>> {
-    match choice % 4 {
-        0 => None,
-        1 => Some(Arc::new(|d: &Option<i64>| d.is_some())),
-        2 => Some(Arc::new(
-            |d: &Option<i64>| matches!(d, Some(v) if v % 2 == 0),
-        )),
-        _ => Some(Arc::new(|d: &Option<i64>| !matches!(d, Some(0)))),
+    /// Tag 1 for known constants, 0 for unknown — so the "is a constant"
+    /// guard below compiles to a pure tag mask and the proptests cover the
+    /// dense tag-table fast path alongside dynamic predicates.
+    fn kind_tag(data: &Option<i64>) -> u8 {
+        data.is_some() as u8
     }
 }
 
-/// Post-filters an unguarded match list by the guard predicates — the
-/// reference semantics guarded search must reproduce *bit-identically*:
-/// a substitution survives iff every guarded variable it binds maps to a
-/// class whose analysis data passes the predicate.
+/// The pool of guards the proptests draw from (index 0 = no guard). All
+/// are pure functions of the class data, as guards must be. Case 1 is a
+/// pure *tag-mask* guard ("the class holds a known constant", tag 1 under
+/// [`ConstAnalysis::kind_tag`]); the rest are dynamic predicates, and case
+/// 4 mixes a mask with a predicate the way TENSAT's double-transpose guard
+/// does.
+fn guard_pool(choice: u8) -> Option<Guard<Option<i64>>> {
+    match choice % 5 {
+        0 => None,
+        1 => Some(Guard::tags(1 << 1)),
+        2 => Some(Guard::from_fn(
+            |d: &Option<i64>| matches!(d, Some(v) if v % 2 == 0),
+        )),
+        3 => Some(Guard::from_fn(|d: &Option<i64>| !matches!(d, Some(0)))),
+        _ => Some(Guard::tags(1 << 1).and(Guard::from_fn(|d: &Option<i64>| !matches!(d, Some(0))))),
+    }
+}
+
+/// Post-filters an unguarded match list by the guards — the reference
+/// semantics guarded search must reproduce *bit-identically*: a
+/// substitution survives iff every guarded variable it binds maps to a
+/// class whose analysis data passes [`Guard::check`]. The kind tag is
+/// recomputed here from the data (not read from the e-graph's side table),
+/// so a stale tag table would show up as a mismatch.
 fn filter_by_guards(
     eg: &EGraph<Math, ConstAnalysis>,
     matches: &[SearchMatches],
-    guards: &[(Var, GuardFn<Option<i64>>)],
+    guards: &[(Var, Guard<Option<i64>>)],
 ) -> Vec<SearchMatches> {
     matches
         .iter()
@@ -341,7 +353,10 @@ fn filter_by_guards(
                 .iter()
                 .filter(|s| {
                     guards.iter().all(|(v, g)| match s.get(*v) {
-                        Some(id) => g(&eg.eclass(id).data),
+                        Some(id) => {
+                            let data = &eg.eclass(id).data;
+                            g.check(ConstAnalysis::kind_tag(data), data)
+                        }
                         None => true,
                     })
                 })
@@ -365,7 +380,7 @@ proptest! {
     fn guarded_search_equals_filtered_search_and_parallel_is_bit_identical(
         steps in steps_strategy(40),
         pat_steps in pattern_strategy(12),
-        guard_choices in prop::collection::vec(0u8..4, 3),
+        guard_choices in prop::collection::vec(0u8..5, 3),
         n_threads in 1usize..=8,
         unions in prop::collection::vec((any::<usize>(), any::<usize>()), 0..6)
     ) {
@@ -383,7 +398,7 @@ proptest! {
 
         let pattern = build_pattern(&pat_steps);
         // Draw a guard (or none) for each of the three possible variables.
-        let guards: Vec<(Var, GuardFn<Option<i64>>)> = guard_choices
+        let guards: Vec<(Var, Guard<Option<i64>>)> = guard_choices
             .iter()
             .enumerate()
             .filter_map(|(i, &choice)| {
@@ -496,5 +511,272 @@ proptest! {
         let c1 = Extractor::new(&eg1, AstSize).best_cost(root1);
         let c2 = Extractor::new(&eg2, AstSize).best_cost(root2);
         prop_assert_eq!(c1, c2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense slot-indexed storage: rebuild-schedule independence
+// ---------------------------------------------------------------------------
+
+/// One step of a refactor-era operation sequence over an e-graph: add the
+/// next node of a pre-generated expression, union two previously added
+/// nodes' classes, rebuild, filter a previously added node, or clear the
+/// filter set. Operations are expressed against *expression node indices*
+/// (not raw ids), so the identical semantic sequence can be replayed
+/// against e-graphs with different rebuild schedules — whose internal ids
+/// and slots legitimately diverge.
+#[derive(Debug, Clone)]
+enum SeqOp {
+    Add,
+    Union(usize, usize),
+    Rebuild,
+    Filter(usize),
+    ClearFiltered,
+}
+
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<SeqOp>> {
+    // The vendored proptest stub has no weighted `prop_oneof!`; bias
+    // towards adds by listing the variant several times.
+    prop::collection::vec(
+        prop_oneof![
+            Just(SeqOp::Add),
+            Just(SeqOp::Add),
+            Just(SeqOp::Add),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| SeqOp::Union(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| SeqOp::Union(a, b)),
+            Just(SeqOp::Rebuild),
+            any::<usize>().prop_map(SeqOp::Filter),
+            Just(SeqOp::ClearFiltered),
+        ],
+        1..max_len,
+    )
+}
+
+/// Replays `ops` against a fresh e-graph. `rebuild_every_op` is the
+/// per-operation-rebuild baseline schedule; `false` rebuilds only at
+/// explicit `Rebuild` ops (and both schedules end with a final rebuild).
+/// Returns the e-graph and the expr-index → id map.
+fn replay(
+    expr: &RecExpr<Math>,
+    ops: &[SeqOp],
+    rebuild_every_op: bool,
+) -> (EGraph<Math, ()>, Vec<Id>) {
+    let mut eg: EGraph<Math, ()> = EGraph::new(());
+    let mut ids: Vec<Id> = vec![];
+    let nodes: Vec<(Id, &Math)> = expr.iter().collect();
+    // Always seed at least one node so Union/Filter have a target.
+    let mut next_add = 0usize;
+    let mut add_one = |eg: &mut EGraph<Math, ()>, ids: &mut Vec<Id>| {
+        if next_add < nodes.len() {
+            let node = nodes[next_add].1.map_children(|c| ids[usize::from(c)]);
+            ids.push(eg.add(node));
+            next_add += 1;
+        }
+    };
+    add_one(&mut eg, &mut ids);
+    for op in ops {
+        match op {
+            SeqOp::Add => add_one(&mut eg, &mut ids),
+            SeqOp::Union(a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                eg.union(a, b);
+            }
+            SeqOp::Rebuild => {
+                eg.rebuild();
+            }
+            SeqOp::Filter(k) => {
+                // Filter the semantic node at expr index k (reconstructed
+                // from the expression, so both schedules filter the same
+                // term; `filter_node` canonicalizes internally).
+                let k = *k % ids.len();
+                let node = nodes[k].1.map_children(|c| ids[usize::from(c)]);
+                eg.filter_node(&node);
+            }
+            SeqOp::ClearFiltered => eg.clear_filtered(),
+        }
+        if rebuild_every_op {
+            eg.rebuild();
+        }
+    }
+    eg.rebuild();
+    (eg, ids)
+}
+
+/// The schedule-independent name of a class: the sorted set of expression
+/// node indices whose classes merged into it. Two e-graphs built from the
+/// same semantic sequence are compared through these keys, because raw ids
+/// (and union-find roots) legitimately differ between rebuild schedules.
+fn class_key(eg: &EGraph<Math, ()>, ids: &[Id], id: Id) -> Vec<usize> {
+    let root = eg.find(id);
+    (0..ids.len())
+        .filter(|&i| eg.find(ids[i]) == root)
+        .collect()
+}
+
+/// Normalizes a match list into schedule-independent form: class key →
+/// set of substitutions over class keys.
+type IndexedMatches = BTreeMap<Vec<usize>, BTreeSet<Vec<(Var, Vec<usize>)>>>;
+
+fn normalize_by_index(
+    eg: &EGraph<Math, ()>,
+    ids: &[Id],
+    matches: &[SearchMatches],
+) -> IndexedMatches {
+    let mut out: IndexedMatches = BTreeMap::new();
+    for m in matches {
+        let substs = out.entry(class_key(eg, ids, m.eclass)).or_default();
+        for s in &m.substs {
+            let mut bindings: Vec<(Var, Vec<usize>)> = s
+                .iter()
+                .map(|(v, id)| (v, class_key(eg, ids, id)))
+                .collect();
+            bindings.sort();
+            substs.insert(bindings);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The dense-storage acceptance property: an e-graph driven through a
+    /// random refactor-era operation sequence (add / union / rebuild /
+    /// filter / clear-filter) with the *incremental* rebuild schedule must
+    /// be indistinguishable from the per-op-rebuild sequential baseline —
+    /// same class partition, same class count, same node count, same match
+    /// sets (machine *and* naive oracle), same greedy extraction costs —
+    /// and both must pass the full storage-invariant validator.
+    #[test]
+    fn rebuild_schedule_does_not_change_the_egraph(
+        steps in steps_strategy(30),
+        ops in seq_strategy(40),
+        pat_steps in pattern_strategy(10),
+    ) {
+        let expr = build_expr(&steps);
+        let (a, ids_a) = replay(&expr, &ops, false);
+        let (b, ids_b) = replay(&expr, &ops, true);
+        a.check_invariants();
+        b.check_invariants();
+        prop_assert_eq!(ids_a.len(), ids_b.len());
+        let n = ids_a.len();
+
+        // Identical class partitions over the added nodes...
+        for i in 0..n {
+            for j in (i + 1)..n {
+                prop_assert_eq!(
+                    a.find(ids_a[i]) == a.find(ids_a[j]),
+                    b.find(ids_b[i]) == b.find(ids_b[j]),
+                    "partition diverged at indices {} / {}", i, j
+                );
+            }
+        }
+        // ...and identical aggregate shape.
+        prop_assert_eq!(a.number_of_classes(), b.number_of_classes());
+        prop_assert_eq!(a.classes().count(), b.classes().count());
+        prop_assert_eq!(a.total_number_of_nodes(), b.total_number_of_nodes());
+        prop_assert_eq!(a.filtered_count(), b.filtered_count());
+        prop_assert_eq!(a.num_unfiltered_nodes(), b.num_unfiltered_nodes());
+
+        // Identical match sets, by the machine and by the naive oracle.
+        let pattern = build_pattern(&pat_steps);
+        prop_assert_eq!(
+            normalize_by_index(&a, &ids_a, &pattern.search(&a)),
+            normalize_by_index(&b, &ids_b, &pattern.search(&b))
+        );
+        prop_assert_eq!(
+            normalize_by_index(&a, &ids_a, &pattern.search_naive(&a)),
+            normalize_by_index(&b, &ids_b, &pattern.search_naive(&b))
+        );
+
+        // Identical greedy extraction costs for every added node's class.
+        let ex_a = Extractor::new(&a, AstSize);
+        let ex_b = Extractor::new(&b, AstSize);
+        for i in 0..n {
+            prop_assert_eq!(
+                ex_a.best_cost(ids_a[i]),
+                ex_b.best_cost(ids_b[i]),
+                "extraction cost diverged at index {}", i
+            );
+        }
+    }
+
+    /// Watermark honesty holds through full refactor-era sequences too:
+    /// a watermark taken mid-sequence (on a clean e-graph) plus the
+    /// matches already present at that point reconstructs the final full
+    /// search exactly, even across interleaved rebuilds, filters, and
+    /// filter clears.
+    #[test]
+    fn incremental_search_is_honest_across_op_sequences(
+        steps in steps_strategy(30),
+        ops in seq_strategy(30),
+        pat_steps in pattern_strategy(10),
+        cut in any::<usize>(),
+    ) {
+        let expr = build_expr(&steps);
+        let cut = cut % (ops.len() + 1);
+        // Replay the prefix, snapshot, then replay the suffix against the
+        // same e-graph.
+        let (mut eg, mut ids) = replay(&expr, &ops[..cut], false);
+        let pattern = build_pattern(&pat_steps);
+        let before = pattern.search(&eg);
+        let watermark = eg.watermark();
+
+        // Continue with the suffix against the same e-graph.
+        let nodes: Vec<(Id, &Math)> = expr.iter().collect();
+        for op in &ops[cut..] {
+            match op {
+                SeqOp::Add => {
+                    if ids.len() < nodes.len() {
+                        let node = nodes[ids.len()].1.map_children(|c| ids[usize::from(c)]);
+                        let id = eg.add(node);
+                        ids.push(id);
+                    }
+                }
+                SeqOp::Union(a, b) => {
+                    let a = ids[a % ids.len()];
+                    let b = ids[b % ids.len()];
+                    eg.union(a, b);
+                }
+                SeqOp::Rebuild => {
+                    eg.rebuild();
+                }
+                SeqOp::Filter(k) => {
+                    let k = *k % ids.len();
+                    let node = nodes[k].1.map_children(|c| ids[usize::from(c)]);
+                    eg.filter_node(&node);
+                }
+                SeqOp::ClearFiltered => eg.clear_filtered(),
+            }
+        }
+        eg.rebuild();
+        eg.check_invariants();
+
+        // Filtering can *remove* matches, which incremental search models
+        // as "the class is touched, re-search it": the final full search
+        // must equal the union of still-valid old matches and the
+        // re-searched touched classes. Old matches rooted in touched
+        // classes are superseded by the re-search, so drop them from the
+        // `before` side first (exactly what Runner's incremental loop does
+        // implicitly by only acting on new search results).
+        let full = normalize(&eg, &pattern.search(&eg));
+        let since = pattern.search_since(&eg, watermark);
+        let mut combined: NormalMatches = BTreeMap::new();
+        for m in &before {
+            let class = eg.find(m.eclass);
+            if eg.last_touched(class) >= watermark {
+                continue; // superseded: search_since revisits this class
+            }
+            let substs = combined.entry(class).or_default();
+            for s in &m.substs {
+                let mut bindings: Vec<(Var, Id)> =
+                    s.iter().map(|(v, id)| (v, eg.find(id))).collect();
+                bindings.sort();
+                substs.insert(bindings);
+            }
+        }
+        for (class, substs) in normalize(&eg, &since) {
+            combined.entry(class).or_default().extend(substs);
+        }
+        prop_assert_eq!(full, combined);
     }
 }

@@ -9,8 +9,8 @@
 use crate::conditions::{involutive_permutation, shape_check, shape_guards, TensorGuard};
 use crate::parser::parse_pattern;
 use std::sync::Arc;
-use tensat_egraph::{Rewrite, Var};
-use tensat_ir::{decode_permutation, TensorAnalysis, TensorData, TensorLang};
+use tensat_egraph::{Guard, Rewrite, Var};
+use tensat_ir::{decode_permutation, DataKind, TensorAnalysis, TensorData, TensorLang};
 
 /// A rewrite over the tensor language with shape analysis.
 pub type TensorRewrite = Rewrite<TensorLang, TensorAnalysis>;
@@ -71,7 +71,12 @@ fn double_transpose_rule() -> TensorRewrite {
             _ => false,
         }
     }
-    let guard: TensorGuard = Arc::new(involutive_data);
+    // The involutive check needs the decoded permutation, so it keeps a
+    // dynamic predicate — but conjoined with a `Str` tag mask, non-string
+    // bindings are rejected by the tag test alone, before the `Arc<dyn>`
+    // call ever runs.
+    let guard: TensorGuard =
+        Guard::tags(DataKind::Str.tag_mask()).and(Guard::from_fn(involutive_data));
     let cond = Arc::new(
         |egraph: &tensat_egraph::EGraph<TensorLang, TensorAnalysis>,
          _class: tensat_egraph::Id,
