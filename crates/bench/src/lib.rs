@@ -5,6 +5,7 @@
 //! substrates (`benches/`). This library crate holds the shared plumbing:
 //! benchmark configuration, result rows, and CSV/console reporting.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::io::Write;

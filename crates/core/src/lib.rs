@@ -27,6 +27,7 @@
 //! assert!(result.optimized_cost <= result.original_cost);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cycles;

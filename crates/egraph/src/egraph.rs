@@ -9,6 +9,16 @@ use std::mem::Discriminant;
 /// Sentinel for "this raw id is not (or no longer) a canonical class".
 const NO_SLOT: u32 = u32::MAX;
 
+/// Whether `TENSAT_CHECK_INVARIANTS=1` forces the (expensive) full
+/// invariant check at the end of every [`EGraph::rebuild`] even in release
+/// builds. Debug builds always check. Read once and cached: rebuild is a
+/// hot path and the environment cannot change mid-process in any supported
+/// configuration.
+fn invariant_checks_forced() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("TENSAT_CHECK_INVARIANTS").is_ok_and(|v| v == "1"))
+}
+
 /// An e-graph: a set of e-classes, each a set of equivalent e-nodes, with
 /// hash-consing (structural sharing) and incremental congruence closure.
 ///
@@ -408,7 +418,8 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     /// key form before re-inserting the canonical one), only the node lists
     /// of touched classes are re-canonicalized, the operator index needs no
     /// repair at all (it is maintained by `add`/`union`), and tombstoned
-    /// slots are compacted away at the end. In debug builds the full
+    /// slots are compacted away at the end. In debug builds — or in any
+    /// build when `TENSAT_CHECK_INVARIANTS=1` is set — the full
     /// [`EGraph::check_invariants`] validator runs after every rebuild.
     pub fn rebuild(&mut self) -> usize {
         let mut repairs = 0;
@@ -442,8 +453,9 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.compact_slots();
         self.propagate_touches();
         self.clean = true;
-        #[cfg(debug_assertions)]
-        self.check_invariants();
+        if cfg!(debug_assertions) || invariant_checks_forced() {
+            self.check_invariants();
+        }
         repairs
     }
 
@@ -807,9 +819,11 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
     }
 
     /// Exhaustively validates the storage invariants; panics (with a
-    /// description) on the first violation. O(e-graph), so it is wired into
-    /// debug builds only — [`EGraph::rebuild`] calls it after every repair
-    /// — and into the proptest suites; release builds never pay for it.
+    /// description) on the first violation. O(e-graph), so
+    /// [`EGraph::rebuild`] calls it after every repair in debug builds
+    /// only — plus the proptest suites; release builds skip it unless the
+    /// `TENSAT_CHECK_INVARIANTS=1` environment variable forces it on
+    /// (useful for validating long release-mode saturation runs).
     ///
     /// Checked: the slot map is total and exact (every canonical id maps to
     /// the live slot holding its class, tombstones only for absorbed ids,

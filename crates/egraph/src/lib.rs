@@ -50,6 +50,7 @@
 //! assert_eq!((cost, best.to_string().as_str()), (1, "a"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

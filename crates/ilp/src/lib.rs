@@ -22,6 +22,7 @@
 //! assert_eq!(sol.value(b), 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod problem;

@@ -21,6 +21,7 @@
 //! assert!(cost > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -28,6 +29,7 @@ pub mod builder;
 pub mod cost;
 pub mod lang;
 pub mod shape;
+pub mod symbolic;
 
 pub use analysis::{TensorAnalysis, TensorEGraph};
 pub use builder::{graph_stats, GraphBuilder, GraphStats};
@@ -39,6 +41,7 @@ pub use lang::{
 pub use shape::{
     child_data_kinds, infer, infer_recexpr, DataKind, TensorData, TensorInfo, VALID_TAG_MASK,
 };
+pub use symbolic::{sym_infer, DimEnv, SymDim, SymError, SymTensor, SymValue};
 
 /// Convenience re-exports of the e-graph substrate types most commonly used
 /// together with the IR.

@@ -17,6 +17,7 @@
 //! assert!(graph.len() > 20);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tensat_egraph::{Id, RecExpr};

@@ -32,21 +32,23 @@ use std::sync::Arc;
 use tensat_egraph::{Condition, EGraph, ENodeOrVar, Guard, Id, Language, Pattern, Subst, Var};
 use tensat_ir::{child_data_kinds, infer, DataKind, TensorAnalysis, TensorData, TensorLang};
 
-/// Infers the [`TensorData`] of every node of `pattern` under `subst`,
-/// without modifying the e-graph. Variables take the data of the e-class
-/// they are bound to; unbound variables yield `Invalid`.
-pub fn pattern_data(
-    egraph: &EGraph<TensorLang, TensorAnalysis>,
+/// Infers the [`TensorData`] of every node of `pattern`, reading each
+/// variable's data from `lookup`. Variables for which `lookup` returns
+/// `None` yield `Invalid`.
+///
+/// This is the substitution-agnostic core of [`pattern_data`]: the static
+/// rule verifier (`tensat-verify`) uses it to interpret patterns over
+/// synthetic variable bindings with no e-graph in sight.
+pub fn pattern_data_with(
     pattern: &Pattern<TensorLang>,
-    subst: &Subst,
+    lookup: &dyn Fn(Var) -> Option<TensorData>,
 ) -> Vec<TensorData> {
     let mut data: Vec<TensorData> = Vec::with_capacity(pattern.ast.len());
     for (_, node) in pattern.ast.iter() {
         let d = match node {
-            ENodeOrVar::Var(v) => match subst.get(*v) {
-                Some(class) => egraph.eclass(class).data.clone(),
-                None => TensorData::invalid(format!("unbound variable {v}")),
-            },
+            ENodeOrVar::Var(v) => {
+                lookup(*v).unwrap_or_else(|| TensorData::invalid(format!("unbound variable {v}")))
+            }
             ENodeOrVar::ENode(n) => {
                 let get = |id: Id| data[usize::from(id)].clone();
                 infer(n, &get)
@@ -55,6 +57,19 @@ pub fn pattern_data(
         data.push(d);
     }
     data
+}
+
+/// Infers the [`TensorData`] of every node of `pattern` under `subst`,
+/// without modifying the e-graph. Variables take the data of the e-class
+/// they are bound to; unbound variables yield `Invalid`.
+pub fn pattern_data(
+    egraph: &EGraph<TensorLang, TensorAnalysis>,
+    pattern: &Pattern<TensorLang>,
+    subst: &Subst,
+) -> Vec<TensorData> {
+    pattern_data_with(pattern, &|v| {
+        subst.get(v).map(|class| egraph.eclass(class).data.clone())
+    })
 }
 
 /// True if every node of `pattern` is well-typed under `subst`.

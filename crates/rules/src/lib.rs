@@ -12,6 +12,7 @@
 //! assert_eq!(p.vars().len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conditions;
@@ -20,8 +21,8 @@ pub mod parser;
 pub mod single;
 
 pub use conditions::{
-    guard_for_kinds, pattern_data, pattern_is_valid, pattern_kind_constraints, shape_check,
-    shape_guards, TensorGuard,
+    guard_for_kinds, kind_tag_mask, pattern_data, pattern_data_with, pattern_is_valid,
+    pattern_kind_constraints, shape_check, shape_guards, TensorGuard,
 };
 pub use multi::{multi_rules, MultiPatternRule};
 pub use parser::{parse_pattern, ParsePatternError};

@@ -12,6 +12,7 @@
 //! the same cost model as TENSAT, so the comparison isolates the search
 //! strategy — exactly the comparison the paper's Tables 1/Figures 4–6 make.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backtracking;

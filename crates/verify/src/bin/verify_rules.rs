@@ -1,0 +1,10 @@
+//! CI gate: statically verifies the shipped rewrite-rule corpus and
+//! exits nonzero if any rule has an error-severity finding.
+
+fn main() {
+    let report = tensat_verify::verify_shipped_corpus();
+    print!("{report}");
+    if report.error_count() > 0 {
+        std::process::exit(1);
+    }
+}

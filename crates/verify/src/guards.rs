@@ -1,0 +1,250 @@
+//! Guard-satisfiability and guard-coverage analysis.
+//!
+//! A rule's compiled [`Guard`](tensat_egraph::Guard) table is checked
+//! against what its patterns actually allow:
+//!
+//! * a guard whose tag mask admits **no** kind, or no kind the LHS
+//!   positions can produce, makes the rule unable to fire — an error;
+//! * a guard admitting *every* tag (including invalid data) with no
+//!   dynamic predicate rejects nothing and is pure per-binding overhead on
+//!   the e-matching hot path — a warning;
+//! * a variable whose RHS positions demand a concrete kind but that
+//!   carries no guard at all means the corpus convention (the per-variable
+//!   part of the shape check is pushed into the machine, see
+//!   [`tensat_rules::shape_guards`]) was broken — an error. This is what
+//!   catches dropped-guard mutations.
+//!
+//! For multi-pattern rules the exploration driver deduplicates canonical
+//! sources *across* rules and intersects the referring rules' target-kind
+//! constraints; the same intersection is recomputed here so an empty (or
+//! over-weak) intersection is flagged before it silently disables pruning.
+
+use crate::lints::canonical_source_key;
+use crate::{Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use tensat_egraph::Var;
+use tensat_ir::{DataKind, VALID_TAG_MASK};
+use tensat_rules::{kind_tag_mask, pattern_kind_constraints, MultiPatternRule, TensorRewrite};
+
+/// All five kind tags (including tag 0, invalid data).
+const ALL_TAGS: u32 = VALID_TAG_MASK | 1;
+
+fn kinds_list(kinds: &BTreeSet<DataKind>) -> String {
+    let names: Vec<String> = kinds.iter().map(|k| format!("{k:?}")).collect();
+    names.join(", ")
+}
+
+fn mask_kinds(mask: u32) -> String {
+    let mut names = vec![];
+    if mask & 1 != 0 {
+        names.push("Invalid");
+    }
+    for (kind, name) in [
+        (DataKind::Scalar, "Scalar"),
+        (DataKind::Str, "Str"),
+        (DataKind::Tensor, "Tensor"),
+        (DataKind::Tuple, "Tuple"),
+    ] {
+        if mask & kind.tag_mask() != 0 {
+            names.push(name);
+        }
+    }
+    if names.is_empty() {
+        "nothing".to_string()
+    } else {
+        names.join("|")
+    }
+}
+
+/// Checks a single rewrite's guard table. See the module docs for the
+/// individual findings.
+pub(crate) fn check_single_guards(rule: &TensorRewrite) -> Vec<Diagnostic> {
+    let mut diags = vec![];
+    let lhs_kinds: HashMap<Var, BTreeSet<DataKind>> = pattern_kind_constraints(&rule.searcher)
+        .into_iter()
+        .collect();
+    let rhs_kinds = pattern_kind_constraints(&rule.applier);
+    let (program, guards) = rule.searcher_query();
+    let guard_map: HashMap<Var, &tensat_rules::TensorGuard> = program
+        .guard_vars()
+        .iter()
+        .copied()
+        .zip(guards.iter())
+        .collect();
+
+    // Coverage: every RHS variable with a real kind demand must be guarded.
+    for (var, kinds) in &rhs_kinds {
+        if !kinds.is_empty() && !guard_map.contains_key(var) {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: "missing-guard",
+                message: format!(
+                    "{var} must bind data of kind [{}] for the RHS to be well-typed, but the \
+                     rule carries no guard for it — inadmissible bindings reach the apply \
+                     phase instead of being pruned in the machine",
+                    kinds_list(kinds)
+                ),
+            });
+        }
+    }
+
+    for (var, guard) in &guard_map {
+        let eff = guard.mask() & ALL_TAGS;
+        if eff == 0 {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: "unsat-guard",
+                message: format!(
+                    "the guard on {var} admits no data kind at all — the rule can never fire"
+                ),
+            });
+            continue;
+        }
+        let lhs_mask = lhs_kinds
+            .get(var)
+            .map(kind_tag_mask)
+            .unwrap_or(VALID_TAG_MASK);
+        if eff & lhs_mask == 0 {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: "unsat-guard",
+                message: format!(
+                    "the guard on {var} admits only {} but its LHS positions require {} — \
+                     no binding can satisfy both, so the rule can never fire",
+                    mask_kinds(eff),
+                    mask_kinds(lhs_mask)
+                ),
+            });
+            continue;
+        }
+        if eff == ALL_TAGS && guard.pred().is_none() {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                code: "redundant-guard",
+                message: format!(
+                    "the guard on {var} admits every kind tag (including invalid data) and \
+                     has no predicate: it rejects nothing and is pure overhead"
+                ),
+            });
+        }
+        // A guard weaker than what the RHS demands still prunes something
+        // but lets kind-inadmissible bindings through to the apply phase.
+        if let Some((_, kinds)) = rhs_kinds.iter().find(|(v, k)| v == var && !k.is_empty()) {
+            let expected = kind_tag_mask(kinds);
+            if eff & !expected & VALID_TAG_MASK != 0 {
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "weak-guard",
+                    message: format!(
+                        "the guard on {var} admits {} but the RHS only accepts {} — the \
+                         extra kinds survive matching only to be rejected by the condition",
+                        mask_kinds(eff),
+                        mask_kinds(expected)
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Checks one multi-pattern rule's own target-kind constraints for
+/// per-variable satisfiability against its source positions.
+pub(crate) fn check_multi_rule_guards(rule: &MultiPatternRule) -> Vec<Diagnostic> {
+    let mut diags = vec![];
+    let mut lhs_kinds: HashMap<Var, BTreeSet<DataKind>> = HashMap::new();
+    for src in &rule.srcs {
+        for (v, kinds) in pattern_kind_constraints(src) {
+            lhs_kinds.entry(v).or_default().extend(kinds);
+        }
+    }
+    for (var, kinds) in rule.target_guard_kinds() {
+        let mask = kind_tag_mask(&kinds);
+        let lhs_mask = lhs_kinds
+            .get(&var)
+            .map(kind_tag_mask)
+            .unwrap_or(VALID_TAG_MASK);
+        if mask == 0 || mask & lhs_mask == 0 {
+            diags.push(Diagnostic {
+                severity: Severity::Error,
+                code: "unsat-guard",
+                message: format!(
+                    "{var} must bind [{}] for the targets but its source positions require \
+                     {} — the rule can never fire",
+                    kinds_list(&kinds),
+                    mask_kinds(lhs_mask)
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Recomputes the cross-rule canonical-source guard intersection the
+/// exploration driver performs and flags degraded intersections: two rules
+/// sharing a canonical source whose kind constraints for a shared position
+/// have an *empty intersection* leave that position guarded by validity
+/// only (or not at all), so neither rule gets its pruning.
+pub(crate) fn check_multi_guard_intersection(rules: &[MultiPatternRule]) -> Vec<Diagnostic> {
+    /// Rules referring to one canonical source: (rule index, canonical
+    /// var -> original var).
+    type SourceReferrers = Vec<(usize, HashMap<Var, Var>)>;
+    let mut diags = vec![];
+    let mut groups: BTreeMap<String, SourceReferrers> = BTreeMap::new();
+    for (ri, rule) in rules.iter().enumerate() {
+        for src in &rule.srcs {
+            let (key, back) = canonical_source_key(src);
+            groups.entry(key).or_default().push((ri, back));
+        }
+    }
+    for (key, referrers) in &groups {
+        if referrers.len() < 2 {
+            continue;
+        }
+        let canon_vars: Vec<Var> = referrers[0].1.keys().copied().collect();
+        for canon in canon_vars {
+            let mut intersection: Option<BTreeSet<DataKind>> = None;
+            let mut all_guarded = true;
+            for (ri, back) in referrers {
+                let orig = back[&canon];
+                match rules[*ri].target_guard_kinds().get(&orig).cloned() {
+                    Some(kinds) => {
+                        intersection = Some(match intersection {
+                            None => kinds,
+                            Some(acc) => acc.intersection(&kinds).copied().collect(),
+                        });
+                    }
+                    None => all_guarded = false,
+                }
+            }
+            if !all_guarded {
+                continue;
+            }
+            let empty_intersection = intersection.as_ref().is_some_and(|i| i.is_empty())
+                && referrers.iter().any(|(ri, back)| {
+                    rules[*ri]
+                        .target_guard_kinds()
+                        .get(&back[&canon])
+                        .is_some_and(|k| !k.is_empty())
+                });
+            if empty_intersection {
+                let names: Vec<&str> = referrers
+                    .iter()
+                    .map(|(ri, _)| rules[*ri].name.as_str())
+                    .collect();
+                diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: "empty-multi-intersection",
+                    message: format!(
+                        "rules [{}] share the canonical source `{key}` but their kind \
+                         constraints for {canon} have an empty intersection: the shared \
+                         search is guarded by validity only and neither rule gets its \
+                         kind pruning",
+                        names.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,117 @@
+//! Differential test between the static verifier and the runtime checks:
+//! on every benchmark model's e-graph, each verifier-accepted rule's
+//! *guarded* search (tag masks + predicates evaluated inside the
+//! e-matching machine) must find exactly the matches that the raw,
+//! unguarded pattern search finds once the legacy runtime
+//! [`Condition`](tensat_egraph::Condition) is applied on top — i.e. the
+//! statically-analyzed guards never prune a match the condition would have
+//! admitted, on real workloads rather than synthetic bindings.
+
+use std::collections::BTreeSet;
+use tensat_egraph::{Id, Subst, Var};
+use tensat_ir::{TensorAnalysis, TensorEGraph};
+use tensat_models::{build_benchmark, ModelScale, BENCHMARKS};
+use tensat_rules::{single_rules, TensorRewrite};
+use tensat_verify::verify_rewrite;
+
+type MatchSet = BTreeSet<(Id, Vec<(Var, Id)>)>;
+
+/// Canonicalizes a match list for comparison (class ids canonicalized,
+/// substitutions restricted to nothing — they already share the rule's
+/// variable order — and condition-filtered when a condition is given).
+fn match_set(
+    eg: &TensorEGraph,
+    rule: &TensorRewrite,
+    matches: &[tensat_egraph::SearchMatches],
+    filter: bool,
+) -> MatchSet {
+    let mut out = MatchSet::new();
+    for m in matches {
+        for s in &m.substs {
+            if filter {
+                if let Some(cond) = &rule.condition {
+                    if !cond(eg, m.eclass, s) {
+                        continue;
+                    }
+                }
+            }
+            let bindings: Vec<(Var, Id)> = s.iter().map(|(v, id)| (v, eg.find(id))).collect();
+            out.insert((eg.find(m.eclass), bindings));
+        }
+    }
+    out
+}
+
+fn condition_filtered(eg: &TensorEGraph, rule: &TensorRewrite, subst: &Subst, class: Id) -> bool {
+    match &rule.condition {
+        Some(cond) => cond(eg, class, subst),
+        None => true,
+    }
+}
+
+#[test]
+fn guarded_search_matches_condition_filtered_raw_search_on_benchmarks() {
+    let rules = single_rules();
+    // The differential only makes sense for rules the verifier accepts —
+    // which must be all of them (pinned in corpus.rs).
+    for rule in &rules {
+        assert!(
+            !verify_rewrite(rule).has_errors(),
+            "rule `{}` no longer verifies",
+            rule.name
+        );
+    }
+
+    for model in BENCHMARKS {
+        let expr = build_benchmark(model, ModelScale::tiny());
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        eg.add_expr(&expr);
+        eg.rebuild();
+
+        for rule in &rules {
+            // Guarded machine search, then the runtime condition.
+            let guarded = match_set(&eg, rule, &rule.search(&eg), true);
+            // Raw pattern search (no guards), then the runtime condition.
+            let raw = match_set(&eg, rule, &rule.searcher.search(&eg), true);
+            assert_eq!(
+                guarded, raw,
+                "rule `{}` on {model}: guarded search + condition disagrees with raw \
+                 search + condition",
+                rule.name
+            );
+        }
+    }
+}
+
+/// The statically-derived guards must be *sound* prunes: a match the guard
+/// table rejects must also be rejected by the runtime condition (otherwise
+/// the guards silently changed rule semantics).
+#[test]
+fn guards_only_prune_condition_rejected_matches() {
+    let rules = single_rules();
+    for model in BENCHMARKS {
+        let expr = build_benchmark(model, ModelScale::tiny());
+        let mut eg = TensorEGraph::new(TensorAnalysis);
+        eg.add_expr(&expr);
+        eg.rebuild();
+
+        for rule in &rules {
+            let guarded = match_set(&eg, rule, &rule.search(&eg), false);
+            for m in rule.searcher.search(&eg) {
+                for s in &m.substs {
+                    let bindings: Vec<(Var, Id)> =
+                        s.iter().map(|(v, id)| (v, eg.find(id))).collect();
+                    let key = (eg.find(m.eclass), bindings);
+                    if !guarded.contains(&key) {
+                        assert!(
+                            !condition_filtered(&eg, rule, s, m.eclass),
+                            "rule `{}` on {model}: guard pruned a match the condition \
+                             would have accepted: {key:?}",
+                            rule.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Mutation testing of the verifier itself: seed the corpus with the
+//! defect classes the verifier exists to catch — a swapped child, a
+//! dropped guard, a renamed RHS variable, a shape-changing RHS, an
+//! unsatisfiable guard mask — and assert each mutant is rejected with the
+//! right diagnostic while the pristine corpus passes (see `corpus.rs`).
+//!
+//! Swap-child mutants are *curated*, not blind: some swaps are harmless by
+//! algebra (swapping the operands of `ewadd` is commutativity; reassociating
+//! `matmul` children preserves shapes by associativity), so each entry
+//! below is a swap hand-checked to change the output shape on some binding.
+
+use proptest::prelude::*;
+use tensat_egraph::{ENodeOrVar, Guard, Pattern, RecExpr, Rewrite, Var};
+use tensat_ir::DataKind;
+use tensat_rules::{
+    parse_pattern, pattern_kind_constraints, shape_check, shape_guards, single_rules,
+};
+use tensat_verify::{default_guards, verify_patterns, verify_rewrite};
+
+/// `(name, lhs, mutated_rhs)` triples where the RHS mutant no longer
+/// preserves the output shape (or validity) for all bindings. Verified
+/// *unconditionally*: the pristine versions of these rules all verify with
+/// zero shape-divergent and zero condition-blocked cases (pinned in
+/// `corpus.rs`), so any divergence here is introduced by the mutation.
+const SWAP_CHILD_MUTANTS: &[(&str, &str, &str)] = &[
+    (
+        // transpose-matmul with the RHS matmul operands swapped: (AB)^T is
+        // B^T A^T, not A^T B^T.
+        "transpose-matmul-swapped",
+        "(transpose (matmul 0 ?a ?b) \"1_0\")",
+        "(matmul 0 (transpose ?a \"1_0\") (transpose ?b \"1_0\"))",
+    ),
+    (
+        // matmul-linear-rhs with ?a/?b swapped in the first product.
+        "matmul-linear-rhs-swapped",
+        "(matmul ?act ?a (ewadd ?b ?c))",
+        "(ewadd (matmul ?act ?b ?a) (matmul ?act ?a ?c))",
+    ),
+    (
+        // conv-add-weights with input and summed weights swapped.
+        "conv-add-weights-swapped",
+        "(ewadd (conv ?sh ?sw ?p 0 ?x ?w1) (conv ?sh ?sw ?p 0 ?x ?w2))",
+        "(conv ?sh ?sw ?p 0 (ewadd ?w1 ?w2) ?x)",
+    ),
+    (
+        // split0-of-concat projecting the wrong half.
+        "split0-of-concat-swapped",
+        "(split0 (split ?ax (concat2 ?ax ?x ?y)))",
+        "?y",
+    ),
+    (
+        // A shape-changing RHS: elementwise add replaced by concatenation.
+        "ewadd-to-concat",
+        "(ewadd ?x ?y)",
+        "(concat2 0 ?x ?y)",
+    ),
+];
+
+fn verify_mutant(name: &str, lhs: &str, rhs: &str) -> tensat_verify::RuleReport {
+    let sources = vec![parse_pattern(lhs).unwrap()];
+    let targets = vec![parse_pattern(rhs).unwrap()];
+    let guards = default_guards(&targets);
+    verify_patterns(name, &sources, &targets, guards, false)
+}
+
+proptest! {
+    /// Every curated shape-breaking mutant is rejected with a hard error.
+    #[test]
+    fn swap_child_mutants_are_rejected(idx in 0usize..SWAP_CHILD_MUTANTS.len()) {
+        let (name, lhs, rhs) = SWAP_CHILD_MUTANTS[idx];
+        let report = verify_mutant(name, lhs, rhs);
+        prop_assert!(
+            report.has_errors(),
+            "mutant `{name}` should have been rejected:\n{report}"
+        );
+        let shape_error = report.diagnostics.iter().any(|d| {
+            matches!(
+                d.code,
+                "unsound-shape" | "always-divergent" | "unsound-invalid-rhs" | "dead-rule"
+            )
+        });
+        prop_assert!(
+            shape_error,
+            "mutant `{name}` rejected for the wrong reason:\n{report}"
+        );
+    }
+
+    /// Renaming an RHS variable out from under its LHS binder is reported
+    /// as an unbound-variable error naming the variable.
+    #[test]
+    fn renamed_rhs_var_is_rejected(idx in 0usize..single_rules().len()) {
+        let rules = single_rules();
+        let rule = &rules[idx];
+        // Rename the first RHS variable to one the LHS does not bind.
+        let Some(victim) = rule.applier.vars().first().copied() else {
+            return; // variable-free RHS: nothing to rename
+        };
+        let mut mutated = RecExpr::default();
+        for (_, node) in rule.applier.ast.iter() {
+            mutated.add(match node {
+                ENodeOrVar::Var(v) if *v == victim => {
+                    ENodeOrVar::Var(Var::new("mutant_unbound"))
+                }
+                other => other.clone(),
+            });
+        }
+        let sources = vec![rule.searcher.clone()];
+        let targets = vec![Pattern::new(mutated)];
+        let guards = default_guards(&targets);
+        let report = verify_patterns(&rule.name, &sources, &targets, guards, true);
+        prop_assert!(report.has_errors(), "rename mutant of `{}` accepted:\n{report}", rule.name);
+        let named = report.diagnostics.iter().any(|d| {
+            d.code == "unbound-rhs-var" && d.message.contains("?mutant_unbound")
+        });
+        prop_assert!(
+            named,
+            "rename mutant of `{}` missing an unbound-rhs-var diagnostic naming \
+             ?mutant_unbound:\n{report}",
+            rule.name
+        );
+    }
+}
+
+/// Dropping one of a shipped rule's kind guards is reported as a missing
+/// guard on exactly the dropped variable.
+#[test]
+fn dropped_guard_is_rejected() {
+    let rules = single_rules();
+    let mut checked = 0;
+    for rule in &rules {
+        let guards = shape_guards(&rule.applier);
+        // Drop a guard on a variable whose RHS positions demand a concrete
+        // kind — dropping a validity-only guard (e.g. on a matmul
+        // activation) removes nothing the verifier requires.
+        let constrained: Vec<Var> = pattern_kind_constraints(&rule.applier)
+            .into_iter()
+            .filter(|(_, kinds)| !kinds.is_empty())
+            .map(|(v, _)| v)
+            .collect();
+        let Some(pos) = guards.iter().position(|(v, _)| constrained.contains(v)) else {
+            continue;
+        };
+        if guards.len() < 2 {
+            continue; // dropping the only guard is covered by ewadd below
+        }
+        let dropped_var = guards[pos].0;
+        let kept: Vec<_> = guards
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, g)| g)
+            .collect();
+        let mutant = Rewrite::new_conditional(
+            format!("{}-dropped-guard", rule.name),
+            rule.searcher.clone(),
+            rule.applier.clone(),
+            shape_check(rule.applier.clone()),
+        )
+        .with_guards(kept);
+        let report = verify_rewrite(&mutant);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "missing-guard" && d.message.contains(&dropped_var.to_string())),
+            "dropping the {dropped_var} guard from `{}` was not flagged:\n{report}",
+            rule.name
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} rules had droppable guards");
+}
+
+/// A guard whose tag mask cannot be satisfied by the variable's LHS
+/// positions is reported as unsatisfiable, naming the guard's variable.
+#[test]
+fn unsatisfiable_guard_mask_is_rejected() {
+    let searcher = parse_pattern("(relu ?x)").unwrap();
+    let applier = parse_pattern("(tanh ?x)").unwrap();
+    // ?x sits in a tensor-only position but the guard admits only strings.
+    let mutant = Rewrite::new("relu-to-tanh-strguard", searcher, applier)
+        .with_guards(vec![(Var::new("x"), Guard::tags(DataKind::Str.tag_mask()))]);
+    let report = verify_rewrite(&mutant);
+    assert!(
+        report.has_errors(),
+        "unsatisfiable guard accepted:\n{report}"
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| (d.code == "unsat-guard" || d.code == "dead-rule")
+                && d.message.contains("?x")),
+        "no unsat-guard/dead-rule diagnostic naming ?x:\n{report}"
+    );
+}
+
+/// A guard admitting every tag with no predicate is flagged as redundant
+/// overhead (warning, not error).
+#[test]
+fn vacuous_guard_is_flagged_redundant() {
+    let searcher = parse_pattern("(relu ?x)").unwrap();
+    let applier = parse_pattern("(tanh ?x)").unwrap();
+    let mutant = Rewrite::new("relu-to-tanh-vacuous", searcher, applier)
+        .with_guards(vec![(Var::new("x"), Guard::tags(u32::MAX))]);
+    let report = verify_rewrite(&mutant);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "redundant-guard" && d.message.contains("?x")),
+        "vacuous guard not flagged:\n{report}"
+    );
+}
+
+/// A rule whose two sides are the same pattern is structurally dead.
+#[test]
+fn self_identical_rule_is_rejected() {
+    let report = verify_mutant("noop", "(ewadd ?p ?q)", "(ewadd ?p ?q)");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "self-identical"),
+        "self-identical rule not flagged:\n{report}"
+    );
+}
+
+/// The shape-changing seeded rule's error carries a concrete, confirmed
+/// counterexample binding (variables with tensor shapes and both inferred
+/// root shapes).
+#[test]
+fn shape_divergence_reports_a_concrete_counterexample() {
+    let report = verify_mutant("ewadd-to-concat", "(ewadd ?x ?y)", "(concat2 0 ?x ?y)");
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "unsound-shape")
+        .unwrap_or_else(|| panic!("no unsound-shape diagnostic:\n{report}"));
+    assert!(
+        diag.message.contains("?x = tensor[") && diag.message.contains("LHS infers"),
+        "counterexample not concrete: {diag}"
+    );
+}

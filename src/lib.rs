@@ -31,6 +31,7 @@
 //! println!("speedup: {:.1}%", result.speedup_percent());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use tensat_core as core;
@@ -40,6 +41,7 @@ pub use tensat_ir as ir;
 pub use tensat_models as models;
 pub use tensat_rules as rules;
 pub use tensat_taso as taso;
+pub use tensat_verify as verify;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {

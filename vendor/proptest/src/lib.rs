@@ -19,6 +19,7 @@
 
 // The `proptest!` doc example necessarily shows `#[test]` inside the macro
 // invocation — that is the macro's real usage, not a mistakenly nested test.
+#![forbid(unsafe_code)]
 #![allow(clippy::test_attr_in_doctest)]
 
 use std::marker::PhantomData;
