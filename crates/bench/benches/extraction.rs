@@ -3,7 +3,9 @@
 //! ablated in paper Table 4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tensat_core::{explore, extract_greedy, extract_ilp, ExplorationConfig, IlpConfig};
+use tensat_core::{
+    explore, extract_greedy, extract_greedy_dag, extract_ilp, ExplorationConfig, IlpConfig,
+};
 use tensat_ir::{CostModel, GraphBuilder, TensorAnalysis, TensorEGraph};
 use tensat_rules::{multi_rules, single_rules};
 
@@ -40,14 +42,18 @@ fn bench_extraction(c: &mut Criterion) {
     for &parallel in &[2usize, 3] {
         let (eg, root) = explored(parallel);
         group.bench_with_input(BenchmarkId::new("greedy", parallel), &parallel, |b, _| {
-            b.iter(|| extract_greedy(&eg, root, &model).unwrap().cost)
+            b.iter(|| extract_greedy(&eg, root, &model).unwrap().dag_cost)
         });
+        group.bench_with_input(
+            BenchmarkId::new("greedy-dag", parallel),
+            &parallel,
+            |b, _| b.iter(|| extract_greedy_dag(&eg, root, &model).unwrap().dag_cost),
+        );
         group.bench_with_input(BenchmarkId::new("ilp", parallel), &parallel, |b, _| {
             b.iter(|| {
                 extract_ilp(&eg, root, &model, &IlpConfig::default())
                     .unwrap()
-                    .0
-                    .cost
+                    .dag_cost
             })
         });
     }

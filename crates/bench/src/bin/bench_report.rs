@@ -17,14 +17,20 @@
 //!
 //! The JSON records the best-of-rounds nanoseconds per full-rule-set
 //! search, per model and variant, plus the guarded-vs-machine overhead
-//! percentage the ROADMAP tracks.
+//! percentage the ROADMAP tracks. A per-model `extraction` section runs
+//! the three extraction strategies (tree-greedy, greedy-DAG, ILP) once on
+//! the same grown e-graph and records each strategy's extraction time and
+//! the DAG/tree cost of its result, so the greedy/ILP quality gap is
+//! tracked across PRs alongside the search numbers.
 //!
 //! [`Pattern::search_naive`]: tensat_egraph::Pattern::search_naive
 
 use std::io::Write;
 use std::time::Instant;
-use tensat_core::{explore, ExplorationConfig};
-use tensat_ir::{TensorAnalysis, TensorEGraph};
+use tensat_core::{
+    explore, ExplorationConfig, ExtractionStrategy, GreedyDag, IlpExtraction, TreeGreedy,
+};
+use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph};
 use tensat_models::{build_benchmark, ModelScale};
 use tensat_rules::{single_rules, TensorRewrite};
 
@@ -43,7 +49,7 @@ const ROUNDS: usize = 9;
 /// from a calibration run so tiny workloads are not timer-noise bound.
 const TARGET_BATCH_NS: u128 = 4_000_000;
 
-fn grow(model: &str, rules: &[TensorRewrite]) -> TensorEGraph {
+fn grow(model: &str, rules: &[TensorRewrite]) -> (TensorEGraph, tensat_egraph::Id) {
     let graph = build_benchmark(model, ModelScale::default());
     let mut eg = TensorEGraph::new(TensorAnalysis);
     let root = eg.add_expr(&graph);
@@ -60,7 +66,7 @@ fn grow(model: &str, rules: &[TensorRewrite]) -> TensorEGraph {
             ..Default::default()
         },
     );
-    eg
+    (eg, root)
 }
 
 struct Variant {
@@ -125,9 +131,16 @@ fn main() {
     out.push_str(&ROUNDS.to_string());
     out.push_str(",\n  \"models\": [\n");
 
+    let cost_model = CostModel::default();
+    let strategies: [Box<dyn ExtractionStrategy>; 3] = [
+        Box::new(TreeGreedy),
+        Box::new(GreedyDag),
+        Box::new(IlpExtraction::default()),
+    ];
+
     for (mi, model) in MODELS.iter().enumerate() {
         eprintln!("[bench-report] growing {model} e-graph...");
-        let eg = grow(model, &rules);
+        let (eg, root) = grow(model, &rules);
 
         let count = |ms: &[tensat_egraph::SearchMatches]| -> usize {
             ms.iter().map(|m| m.substs.len()).sum()
@@ -193,6 +206,29 @@ fn main() {
                 v.ns_per_search,
                 v.matches,
                 if vi + 1 < variants.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      },\n      \"extraction\": {\n");
+        for (si, strategy) in strategies.iter().enumerate() {
+            let outcome = strategy
+                .extract(&eg, root, &cost_model)
+                .unwrap_or_else(|e| {
+                    panic!("{} extraction failed on {model}: {e}", strategy.name())
+                });
+            eprintln!(
+                "[bench-report] {model}: {} extracted in {:.3}s (DAG {:.2} µs, tree {:.2} µs)",
+                strategy.name(),
+                outcome.time.as_secs_f64(),
+                outcome.dag_cost,
+                outcome.tree_cost,
+            );
+            out.push_str(&format!(
+                "        \"{}\": {{ \"time_s\": {:.4}, \"dag_cost_us\": {:.3}, \"tree_cost_us\": {:.3} }}{}\n",
+                strategy.name(),
+                outcome.time.as_secs_f64(),
+                outcome.dag_cost,
+                outcome.tree_cost,
+                if si + 1 < strategies.len() { "," } else { "" }
             ));
         }
         out.push_str("      }\n    }");

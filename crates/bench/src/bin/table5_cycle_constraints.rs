@@ -45,7 +45,10 @@ fn main() {
                     warm_start_with_greedy: true,
                 };
                 match extract_ilp(&eg, root, &model, &cfg) {
-                    Ok((_, stats)) => stats.solve_time.as_secs_f64(),
+                    Ok(out) => out
+                        .ilp
+                        .map(|stats| stats.solve_time.as_secs_f64())
+                        .unwrap_or(f64::NAN),
                     Err(_) => f64::NAN,
                 }
             };

@@ -141,22 +141,22 @@ fn incremental_saturation_matches_full_saturation_with_identical_extraction_cost
         let greedy_full = extract_greedy(&full.egraph, full.roots[0], &model).unwrap();
         let greedy_incr = extract_greedy(&incr.egraph, incr.roots[0], &model).unwrap();
         assert!(
-            (greedy_full.cost - greedy_incr.cost).abs() < 1e-6,
+            (greedy_full.dag_cost - greedy_incr.dag_cost).abs() < 1e-6,
             "model {name}: greedy costs diverged ({} vs {})",
-            greedy_full.cost,
-            greedy_incr.cost
+            greedy_full.dag_cost,
+            greedy_incr.dag_cost
         );
         let ilp_config = IlpConfig {
             time_limit: Duration::from_secs(20),
             ..Default::default()
         };
-        let (ilp_full, _) = extract_ilp(&full.egraph, full.roots[0], &model, &ilp_config).unwrap();
-        let (ilp_incr, _) = extract_ilp(&incr.egraph, incr.roots[0], &model, &ilp_config).unwrap();
+        let ilp_full = extract_ilp(&full.egraph, full.roots[0], &model, &ilp_config).unwrap();
+        let ilp_incr = extract_ilp(&incr.egraph, incr.roots[0], &model, &ilp_config).unwrap();
         assert!(
-            (ilp_full.cost - ilp_incr.cost).abs() < 1e-6,
+            (ilp_full.dag_cost - ilp_incr.dag_cost).abs() < 1e-6,
             "model {name}: ILP costs diverged ({} vs {})",
-            ilp_full.cost,
-            ilp_incr.cost
+            ilp_full.dag_cost,
+            ilp_incr.dag_cost
         );
     }
 }

@@ -16,52 +16,11 @@ use std::collections::HashMap;
 use tensat_egraph::{ENodeOrVar, Id, Language, Pattern, Subst};
 use tensat_ir::{TensorEGraph, TensorLang};
 
-/// A dense bit set over e-class indices.
-#[derive(Debug, Clone)]
-pub struct BitSet {
-    words: Vec<u64>,
-}
-
-impl BitSet {
-    /// Creates a bit set able to hold `n` bits, all clear.
-    pub fn new(n: usize) -> Self {
-        BitSet {
-            words: vec![0; n.div_ceil(64)],
-        }
-    }
-
-    /// Sets bit `i`. Returns true if it was newly set.
-    pub fn insert(&mut self, i: usize) -> bool {
-        let (w, b) = (i / 64, i % 64);
-        let was = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
-        !was
-    }
-
-    /// True if bit `i` is set.
-    pub fn contains(&self, i: usize) -> bool {
-        let (w, b) = (i / 64, i % 64);
-        self.words[w] & (1 << b) != 0
-    }
-
-    /// Unions `other` into `self`; returns true if anything changed.
-    pub fn union_with(&mut self, other: &BitSet) -> bool {
-        let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            let new = *a | *b;
-            if new != *a {
-                *a = new;
-                changed = true;
-            }
-        }
-        changed
-    }
-
-    /// Number of set bits.
-    pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-}
+/// The dense bit set over e-class slots. Moved into `tensat-egraph` when
+/// the DAG extractor's reachability sets joined the slot tables there;
+/// re-exported here so existing `tensat_core::cycles::BitSet` paths keep
+/// working.
+pub use tensat_egraph::BitSet;
 
 /// The per-iteration descendants map: for every e-class, the set of
 /// e-classes reachable through (unfiltered) e-node child edges.

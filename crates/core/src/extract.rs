@@ -1,30 +1,78 @@
 //! The extraction phase (paper §5): pick one e-node per e-class so that the
 //! resulting graph minimizes the cost model.
 //!
-//! Two extraction algorithms are provided, mirroring the paper:
+//! Three extraction strategies are provided behind one seam
+//! ([`ExtractionStrategy`]), all reporting the composite
+//! [`Cost`] and both honest costs of their result
+//! (see [`ExtractionOutcome`]):
 //!
-//! * **Greedy** — per e-class minimum subtree cost. Fast, but ignores
-//!   sharing between subgraphs, so it never chooses the `split` form of a
-//!   merged operator (Table 4).
-//! * **ILP** — the integer-linear-program encoding of constraints (1)–(5),
-//!   with the cycle constraints (4)–(5) optional, solved by `tensat-ilp`
-//!   and warm-started from the greedy solution.
+//! * [`TreeGreedy`] — per e-class minimum *subtree* cost (paper §5.1).
+//!   Fast, but it charges shared subgraphs once per use, so it never
+//!   chooses the `split` form of a merged operator (Table 4).
+//! * [`GreedyDag`] — the worklist-driven global greedy DAG extractor
+//!   ([`tensat_egraph::DagExtractor`]) which charges each e-node once
+//!   regardless of sharing. To make `dag_cost(GreedyDag) ≤
+//!   dag_cost(TreeGreedy)` unconditional, the strategy also runs
+//!   tree-greedy and returns whichever result has the lower DAG cost.
+//! * [`IlpExtraction`] — the integer-linear-program encoding of
+//!   constraints (1)–(5), with the cycle constraints (4)–(5) optional,
+//!   solved by `tensat-ilp` and warm-started from the greedy-DAG solution
+//!   (which dominates the tree-greedy warm start it replaced).
+//!
+//! Extraction minimizes the *lexicographic* composite order (latency, then
+//! peak memory, then launches — see [`Cost`]); the scalar
+//! `dag_cost`/`tree_cost` fields report plain latency for paper-style
+//! comparisons.
 
 use crate::cycles::BitSet;
+use std::cmp::Ordering;
 use std::time::{Duration, Instant};
-use tensat_egraph::{CostFunction, Extractor, Id, Language, RecExpr};
+use tensat_egraph::{
+    CostFunction, DagCostFunction, DagExtractor, Extractor, Id, Language, RecExpr,
+};
 use tensat_ilp::{Cmp, Problem, Solver, Status, VarId};
-use tensat_ir::{CostModel, TensorData, TensorEGraph, TensorLang};
+use tensat_ir::{Cost, CostModel, TensorData, TensorEGraph, TensorLang};
 
 /// The result of one extraction.
+///
+/// Both cost views of the extracted graph are reported so strategies are
+/// never compared apples-to-oranges: `tree_cost` charges shared subgraphs
+/// once per use (the objective tree-greedy actually minimizes), `dag_cost`
+/// charges each node once (what the graph actually costs to run, and the
+/// objective the DAG-aware strategies minimize). Earlier revisions reported
+/// a single scalar that meant tree cost for greedy and DAG cost for ILP.
 #[derive(Debug, Clone)]
 pub struct ExtractionOutcome {
     /// The extracted graph.
     pub expr: RecExpr<TensorLang>,
-    /// Its cost under the cost model (µs of estimated inference time).
-    pub cost: f64,
+    /// Composite DAG-counted cost of `expr` (latency µs, peak-memory
+    /// bytes, kernel launches), each node charged once.
+    pub cost: Cost,
+    /// DAG cost in µs: each node charged once (`cost.latency`).
+    pub dag_cost: f64,
+    /// Tree cost in µs: each node charged once per use.
+    pub tree_cost: f64,
     /// Wall-clock time spent extracting.
     pub time: Duration,
+    /// Solver statistics when the ILP strategy produced this outcome.
+    pub ilp: Option<IlpStats>,
+}
+
+impl ExtractionOutcome {
+    /// Builds an outcome for `expr`, measuring both honest costs under the
+    /// model.
+    fn measure(expr: RecExpr<TensorLang>, model: &CostModel, time: Duration) -> Self {
+        let cost = model.graph_cost_composite(&expr);
+        let tree_cost = model.tree_cost(&expr);
+        ExtractionOutcome {
+            dag_cost: cost.latency,
+            tree_cost,
+            cost,
+            expr,
+            time,
+            ilp: None,
+        }
+    }
 }
 
 /// Statistics of an ILP extraction.
@@ -103,10 +151,62 @@ impl CostFunction<TensorLang> for TreeCost<'_> {
         let own = self.model.node_cost(enode, &get);
         enode.children().iter().fold(own, |acc, &c| acc + costs(c))
     }
+
+    /// Total order on float costs: NaN sorts above `+inf`, so a NaN from a
+    /// degenerate cost model can never displace a finite per-class best.
+    fn cmp(a: &f64, b: &f64) -> Ordering {
+        a.total_cmp(b)
+    }
 }
 
-/// Greedy extraction (paper §5.1): per e-class, pick the e-node with the
-/// smallest subtree cost.
+/// A [`DagCostFunction`] charging each e-node its *own* composite
+/// cost-model cost; the DAG extractor sums it over the set of selected
+/// classes, so sharing is charged once.
+#[derive(Debug, Clone)]
+pub struct DagCost<'a> {
+    model: CostModel,
+    egraph: &'a TensorEGraph,
+}
+
+impl<'a> DagCost<'a> {
+    /// A per-node composite cost function over the given e-graph's analysis
+    /// data.
+    pub fn new(model: CostModel, egraph: &'a TensorEGraph) -> Self {
+        DagCost { model, egraph }
+    }
+}
+
+impl DagCostFunction<TensorLang> for DagCost<'_> {
+    type Cost = Cost;
+
+    fn node_cost(&mut self, enode: &TensorLang) -> Cost {
+        let get = |id: Id| {
+            if self.egraph.slot_index(id).is_some() {
+                self.egraph.eclass(id).data.clone()
+            } else {
+                TensorData::invalid("unknown class")
+            }
+        };
+        self.model.node_cost_composite(enode, &get)
+    }
+
+    fn zero(&self) -> Cost {
+        Cost::ZERO
+    }
+
+    fn add_assign(&self, acc: &mut Cost, item: &Cost) {
+        *acc += *item;
+    }
+
+    /// The lexicographic total order of [`Cost`] (latency, memory,
+    /// launches), NaN-safe via `total_cmp` per component.
+    fn cmp(a: &Cost, b: &Cost) -> Ordering {
+        a.total_order(b)
+    }
+}
+
+/// Tree-greedy extraction (paper §5.1): per e-class, pick the e-node with
+/// the smallest subtree cost.
 pub fn extract_greedy(
     egraph: &TensorEGraph,
     root: Id,
@@ -117,12 +217,49 @@ pub fn extract_greedy(
     let (_, expr) = extractor
         .find_best(root)
         .ok_or(ExtractError::NoFiniteTerm)?;
-    let cost = model.graph_cost(&expr);
-    Ok(ExtractionOutcome {
-        expr,
-        cost,
-        time: start.elapsed(),
-    })
+    Ok(ExtractionOutcome::measure(expr, model, start.elapsed()))
+}
+
+/// Global greedy DAG extraction: the worklist extractor charging each
+/// e-node once (see [`tensat_egraph::DagExtractor`]), minimizing the
+/// composite cost.
+///
+/// Both greedy extractors run and the result with the lower composite DAG
+/// cost is returned, so `dag_cost(extract_greedy_dag) ≤
+/// dag_cost(extract_greedy)` holds by construction — the DAG extractor is
+/// a heuristic, and on e-graphs where profitable sharing requires several
+/// classes to switch candidates *jointly* (the merged-matmul economics only
+/// the ILP captures), its per-class-at-a-time fixpoint can lose to the tree
+/// choice. The reported `time` covers both runs.
+pub fn extract_greedy_dag(
+    egraph: &TensorEGraph,
+    root: Id,
+    model: &CostModel,
+) -> Result<ExtractionOutcome, ExtractError> {
+    let start = Instant::now();
+    let extractor = DagExtractor::new(egraph, DagCost::new(model.clone(), egraph));
+    let dag = extractor.find_best(root);
+    let tree = Extractor::new(egraph, TreeCost::new(model.clone(), egraph)).find_best(root);
+    let best = match (dag, tree) {
+        (Some((_, d)), Some((_, t))) => {
+            // Compare by honest composite DAG cost of the built graphs, not
+            // the extractors' internal objectives (which disagree on what a
+            // "cost" is).
+            if model
+                .graph_cost_composite(&d)
+                .total_order(&model.graph_cost_composite(&t))
+                != Ordering::Greater
+            {
+                d
+            } else {
+                t
+            }
+        }
+        (Some((_, d)), None) => d,
+        (None, Some((_, t))) => t,
+        (None, None) => return Err(ExtractError::NoFiniteTerm),
+    };
+    Ok(ExtractionOutcome::measure(best, model, start.elapsed()))
 }
 
 /// Configuration for ILP extraction.
@@ -135,7 +272,8 @@ pub struct IlpConfig {
     pub integer_topo_vars: bool,
     /// Wall-clock limit for the ILP solver.
     pub time_limit: Duration,
-    /// Seed the solver with the greedy solution as a warm start.
+    /// Seed the solver with the greedy-DAG solution as a warm start (and
+    /// keep it as the incumbent if the solver's budget runs out first).
     pub warm_start_with_greedy: bool,
 }
 
@@ -151,13 +289,14 @@ impl Default for IlpConfig {
 }
 
 /// ILP extraction (paper §5.1): encode node selection as a 0/1 program and
-/// solve it with the `tensat-ilp` branch-and-bound solver.
+/// solve it with the `tensat-ilp` branch-and-bound solver. Solver
+/// statistics are reported in the outcome's [`ExtractionOutcome::ilp`].
 pub fn extract_ilp(
     egraph: &TensorEGraph,
     root: Id,
     model: &CostModel,
     config: &IlpConfig,
-) -> Result<(ExtractionOutcome, IlpStats), ExtractError> {
+) -> Result<ExtractionOutcome, ExtractError> {
     let start = Instant::now();
     let root = egraph.find(root);
 
@@ -166,7 +305,7 @@ pub fn extract_ilp(
     // solver: decisions near the root come first). All per-class tables
     // below are indexed by the e-graph's dense slot space
     // ([`tensat_egraph::EGraph::slot_index`]) — the same index space the
-    // cycle bit sets and the greedy extractor use.
+    // cycle bit sets and the greedy extractors use.
     let slot = |id: Id| egraph.slot_index(id).expect("reachable class is live");
     let n_slots = egraph.num_slots();
     let mut order: Vec<Id> = vec![root];
@@ -189,7 +328,9 @@ pub fn extract_ilp(
         }
     }
 
-    // Candidate e-nodes per class.
+    // Candidate e-nodes per class. The objective coefficient is the
+    // latency component of the composite cost — the solver minimizes the
+    // primary objective; memory and launches ride along in the outcome.
     let mut problem = Problem::new();
     let mut node_vars: Vec<(Id, TensorLang, VarId)> = vec![];
     let mut class_vars: Vec<Vec<VarId>> = vec![vec![]; n_slots];
@@ -199,11 +340,11 @@ pub fn extract_ilp(
             if egraph.is_filtered(node) {
                 continue;
             }
-            let cost = model.enode_cost(egraph, node);
+            let cost = model.enode_cost_composite(egraph, node);
             if !cost.is_finite() {
                 continue;
             }
-            let var = problem.add_binary(cost);
+            let var = problem.add_binary(cost.latency);
             problem.set_name(var, format!("x_{class}_{}", node.display_op()));
             node_vars.push((class, node.clone(), var));
             vars.push(var);
@@ -273,9 +414,11 @@ pub fn extract_ilp(
         }
     }
 
-    // Warm start from the greedy solution.
+    // Warm start from the greedy-DAG solution: its DAG cost lower-bounds
+    // the tree-greedy incumbent the solver used to receive, so the solver
+    // starts from a no-worse incumbent.
     let greedy = if config.warm_start_with_greedy {
-        extract_greedy(egraph, root, model).ok()
+        extract_greedy_dag(egraph, root, model).ok()
     } else {
         None
     };
@@ -330,70 +473,162 @@ pub fn extract_ilp(
         }
     }
     let expr = build_selection(egraph, root, &choice)?;
-    let cost = model.graph_cost(&expr);
-    let mut outcome = ExtractionOutcome {
-        expr,
-        cost,
-        time: start.elapsed(),
-    };
+    let mut outcome = ExtractionOutcome::measure(expr, model, start.elapsed());
     // The solver is an any-time procedure: if it hit its budget before
     // re-discovering the greedy incumbent (e.g. the warm start could not be
     // translated into a feasible assignment), keep whichever graph is
     // cheaper so ILP extraction never regresses below greedy.
     if let Some(greedy) = greedy {
-        if greedy.cost < outcome.cost {
+        if greedy.cost.total_order(&outcome.cost) == Ordering::Less {
             outcome.expr = greedy.expr;
             outcome.cost = greedy.cost;
+            outcome.dag_cost = greedy.dag_cost;
+            outcome.tree_cost = greedy.tree_cost;
         }
     }
-    Ok((outcome, stats))
+    outcome.ilp = Some(stats);
+    Ok(outcome)
 }
 
 /// Builds the extracted expression from a per-slot node choice, detecting
-/// cyclic selections.
+/// cyclic selections. Iterative (one explicit frame per class on a heap
+/// stack), so arbitrarily deep selections cannot overflow the thread stack.
 fn build_selection(
     egraph: &TensorEGraph,
     root: Id,
     choice: &[Option<TensorLang>],
 ) -> Result<RecExpr<TensorLang>, ExtractError> {
-    fn rec(
-        egraph: &TensorEGraph,
-        class: Id,
-        choice: &[Option<TensorLang>],
-        expr: &mut RecExpr<TensorLang>,
-        done: &mut [Option<Id>],
-        on_stack: &mut BitSet,
-    ) -> Result<Id, ExtractError> {
-        let slot = egraph.slot_index(class).ok_or(ExtractError::Infeasible)?;
-        if let Some(id) = done[slot] {
-            return Ok(id);
-        }
-        if !on_stack.insert(slot) {
-            return Err(ExtractError::CyclicSelection);
-        }
-        let node = choice
+    struct Frame {
+        slot: usize,
+        node: TensorLang,
+        next_child: usize,
+        children: Vec<Id>,
+    }
+    let frame = |slot: usize, node: TensorLang| Frame {
+        slot,
+        node,
+        next_child: 0,
+        children: vec![],
+    };
+    let pick = |slot: usize| -> Result<TensorLang, ExtractError> {
+        choice
             .get(slot)
             .and_then(|c| c.clone())
-            .ok_or(ExtractError::Infeasible)?;
-        let mut children = Vec::with_capacity(node.children().len());
-        for &c in node.children() {
-            children.push(rec(egraph, c, choice, expr, done, on_stack)?);
+            .ok_or(ExtractError::Infeasible)
+    };
+
+    let mut expr = RecExpr::default();
+    let mut done: Vec<Option<Id>> = vec![None; egraph.num_slots()];
+    let mut on_stack = BitSet::new(egraph.num_slots());
+    let root_slot = egraph.slot_index(root).ok_or(ExtractError::Infeasible)?;
+    on_stack.insert(root_slot);
+    let mut stack = vec![frame(root_slot, pick(root_slot)?)];
+    loop {
+        let top = stack.last_mut().expect("loop returns before emptying");
+        if let Some(&child) = top.node.children().get(top.next_child) {
+            top.next_child += 1;
+            let slot = egraph
+                .slot_index(egraph.find(child))
+                .ok_or(ExtractError::Infeasible)?;
+            if let Some(id) = done[slot] {
+                top.children.push(id);
+            } else {
+                if !on_stack.insert(slot) {
+                    return Err(ExtractError::CyclicSelection);
+                }
+                stack.push(frame(slot, pick(slot)?));
+            }
+            continue;
         }
+        let finished = stack.pop().expect("a frame is always on the stack");
         let mut i = 0;
-        let node = node.map_children(|_| {
-            let id = children[i];
+        let node = finished.node.map_children(|_| {
+            let id = finished.children[i];
             i += 1;
             id
         });
         let id = expr.add(node);
-        done[slot] = Some(id);
-        Ok(id)
+        done[finished.slot] = Some(id);
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(id),
+            None => return Ok(expr),
+        }
     }
-    let mut expr = RecExpr::default();
-    let mut done = vec![None; egraph.num_slots()];
-    let mut on_stack = BitSet::new(egraph.num_slots());
-    rec(egraph, root, choice, &mut expr, &mut done, &mut on_stack)?;
-    Ok(expr)
+}
+
+/// The single extraction seam: every strategy maps `(e-graph, root, cost
+/// model)` to an [`ExtractionOutcome`] with honest tree/DAG costs, so the
+/// optimizer, the benches, and future strategies (e.g. the MCTS scorer)
+/// all call extraction the same way.
+pub trait ExtractionStrategy: std::fmt::Debug {
+    /// Short stable name used in reports and the `TENSAT_EXTRACTOR`
+    /// environment override.
+    fn name(&self) -> &'static str;
+
+    /// Extracts the best graph for `root` under this strategy.
+    fn extract(
+        &self,
+        egraph: &TensorEGraph,
+        root: Id,
+        model: &CostModel,
+    ) -> Result<ExtractionOutcome, ExtractError>;
+}
+
+/// The tree-greedy strategy ([`extract_greedy`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeGreedy;
+
+impl ExtractionStrategy for TreeGreedy {
+    fn name(&self) -> &'static str {
+        "tree-greedy"
+    }
+    fn extract(
+        &self,
+        egraph: &TensorEGraph,
+        root: Id,
+        model: &CostModel,
+    ) -> Result<ExtractionOutcome, ExtractError> {
+        extract_greedy(egraph, root, model)
+    }
+}
+
+/// The global greedy DAG strategy ([`extract_greedy_dag`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyDag;
+
+impl ExtractionStrategy for GreedyDag {
+    fn name(&self) -> &'static str {
+        "greedy-dag"
+    }
+    fn extract(
+        &self,
+        egraph: &TensorEGraph,
+        root: Id,
+        model: &CostModel,
+    ) -> Result<ExtractionOutcome, ExtractError> {
+        extract_greedy_dag(egraph, root, model)
+    }
+}
+
+/// The ILP strategy ([`extract_ilp`]) with its configuration.
+#[derive(Debug, Clone, Default)]
+pub struct IlpExtraction {
+    /// The solver configuration.
+    pub config: IlpConfig,
+}
+
+impl ExtractionStrategy for IlpExtraction {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+    fn extract(
+        &self,
+        egraph: &TensorEGraph,
+        root: Id,
+        model: &CostModel,
+    ) -> Result<ExtractionOutcome, ExtractError> {
+        extract_ilp(egraph, root, model, &self.config)
+    }
 }
 
 #[cfg(test)]
@@ -438,9 +673,28 @@ mod tests {
         let (eg, root, original) = explored_two_matmuls();
         let model = CostModel::default();
         let out = extract_greedy(&eg, root, &model).unwrap();
-        assert!(out.cost.is_finite());
-        assert!(out.cost <= original * 1.001);
+        assert!(out.dag_cost.is_finite());
+        assert!(out.dag_cost <= original * 1.001);
+        // The outcome reports both views and they are consistent.
+        assert_eq!(out.dag_cost, out.cost.latency);
+        assert!(out.tree_cost >= out.dag_cost);
         let data = tensat_ir::infer_recexpr(&out.expr);
+        assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    #[test]
+    fn greedy_dag_never_worse_than_tree_greedy() {
+        let (eg, root, _) = explored_two_matmuls();
+        let model = CostModel::default();
+        let tree = extract_greedy(&eg, root, &model).unwrap();
+        let dag = extract_greedy_dag(&eg, root, &model).unwrap();
+        assert!(
+            dag.dag_cost <= tree.dag_cost + 1e-9,
+            "greedy-DAG ({}) must not lose to tree-greedy ({}) on DAG cost",
+            dag.dag_cost,
+            tree.dag_cost
+        );
+        let data = tensat_ir::infer_recexpr(&dag.expr);
         assert!(data.iter().all(|d| d.is_valid()));
     }
 
@@ -449,15 +703,16 @@ mod tests {
         let (eg, root, original) = explored_two_matmuls();
         let model = CostModel::default();
         let greedy = extract_greedy(&eg, root, &model).unwrap();
-        let (ilp, stats) = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        let ilp = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        let stats = ilp.ilp.as_ref().expect("ILP outcome carries solver stats");
         assert!(stats.num_vars > 0);
         assert!(
-            ilp.cost < greedy.cost,
+            ilp.dag_cost < greedy.dag_cost,
             "ILP ({}) should beat greedy ({}) by picking the merged matmul",
-            ilp.cost,
-            greedy.cost
+            ilp.dag_cost,
+            greedy.dag_cost
         );
-        assert!(ilp.cost < original);
+        assert!(ilp.dag_cost < original);
         // The ILP graph must contain the split form.
         assert!(ilp.expr.to_string().contains("split"));
         let data = tensat_ir::infer_recexpr(&ilp.expr);
@@ -468,8 +723,8 @@ mod tests {
     fn ilp_with_cycle_constraints_matches_without_on_acyclic_egraph() {
         let (eg, root, _) = explored_two_matmuls();
         let model = CostModel::default();
-        let (plain, _) = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
-        let (with_cycles, _) = extract_ilp(
+        let plain = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        let with_cycles = extract_ilp(
             &eg,
             root,
             &model,
@@ -479,8 +734,8 @@ mod tests {
             },
         )
         .unwrap();
-        assert!((plain.cost - with_cycles.cost).abs() < 1e-6);
-        let (int_topo, _) = extract_ilp(
+        assert!((plain.dag_cost - with_cycles.dag_cost).abs() < 1e-6);
+        let int_topo = extract_ilp(
             &eg,
             root,
             &model,
@@ -491,7 +746,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!((plain.cost - int_topo.cost).abs() < 1e-6);
+        assert!((plain.dag_cost - int_topo.dag_cost).abs() < 1e-6);
     }
 
     #[test]
@@ -505,9 +760,33 @@ mod tests {
         let root = eg.add_expr(&expr);
         eg.rebuild();
         let greedy = extract_greedy(&eg, root, &model).unwrap();
-        assert!((greedy.cost - model.graph_cost(&expr)).abs() < 1e-6);
-        let (ilp, stats) = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
-        assert!((ilp.cost - greedy.cost).abs() < 1e-6);
-        assert_eq!(stats.status, Status::Optimal);
+        assert!((greedy.dag_cost - model.graph_cost(&expr)).abs() < 1e-6);
+        let ilp = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        assert!((ilp.dag_cost - greedy.dag_cost).abs() < 1e-6);
+        assert_eq!(ilp.ilp.as_ref().unwrap().status, Status::Optimal);
+    }
+
+    #[test]
+    fn strategies_share_one_seam() {
+        let (eg, root, _) = explored_two_matmuls();
+        let model = CostModel::default();
+        let strategies: Vec<Box<dyn ExtractionStrategy>> = vec![
+            Box::new(TreeGreedy),
+            Box::new(GreedyDag),
+            Box::new(IlpExtraction::default()),
+        ];
+        let names: Vec<_> = strategies.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["tree-greedy", "greedy-dag", "ilp"]);
+        let outcomes: Vec<_> = strategies
+            .iter()
+            .map(|s| s.extract(&eg, root, &model).unwrap())
+            .collect();
+        // DAG-cost dominance chain: ILP ≤ greedy-DAG ≤ tree-greedy.
+        assert!(outcomes[2].dag_cost <= outcomes[1].dag_cost + 1e-9);
+        assert!(outcomes[1].dag_cost <= outcomes[0].dag_cost + 1e-9);
+        // Only the ILP outcome carries solver stats.
+        assert!(outcomes[0].ilp.is_none());
+        assert!(outcomes[1].ilp.is_none());
+        assert!(outcomes[2].ilp.is_some());
     }
 }

@@ -9,7 +9,8 @@
 //!   (Algorithm 1) and a separate `k_multi` limit (§4),
 //! * **cycle filtering** — both the vanilla and the efficient algorithm
 //!   (Algorithm 2) — so extraction can drop the ILP cycle constraints (§5.2),
-//! * the **extraction phase** — greedy and ILP (constraints (1)–(5)) (§5.1),
+//! * the **extraction phase** — tree-greedy, global greedy DAG, and ILP
+//!   (constraints (1)–(5)) behind one [`ExtractionStrategy`] seam (§5.1),
 //! * the end-to-end [`Optimizer`] pipeline with the paper's default
 //!   configuration.
 //!
@@ -40,7 +41,8 @@ pub use explore::{
     default_search_threads, explore, CycleFilter, ExplorationConfig, ExplorationStats,
 };
 pub use extract::{
-    extract_greedy, extract_ilp, ExtractError, ExtractionOutcome, IlpConfig, IlpStats, TreeCost,
+    extract_greedy, extract_greedy_dag, extract_ilp, DagCost, ExtractError, ExtractionOutcome,
+    ExtractionStrategy, GreedyDag, IlpConfig, IlpExtraction, IlpStats, TreeCost, TreeGreedy,
 };
 pub use optimizer::{
     ExtractionMode, OptimizationResult, OptimizationStats, Optimizer, OptimizerConfig,

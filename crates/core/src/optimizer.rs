@@ -3,10 +3,12 @@
 use crate::explore::{
     default_search_threads, explore, CycleFilter, ExplorationConfig, ExplorationStats,
 };
-use crate::extract::{extract_greedy, extract_ilp, ExtractError, IlpConfig, IlpStats};
+use crate::extract::{
+    ExtractError, ExtractionStrategy, GreedyDag, IlpConfig, IlpExtraction, IlpStats, TreeGreedy,
+};
 use std::time::Duration;
 use tensat_egraph::RecExpr;
-use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph, TensorLang};
+use tensat_ir::{Cost, CostModel, TensorAnalysis, TensorEGraph, TensorLang};
 use tensat_rules::{multi_rules, single_rules, MultiPatternRule, TensorRewrite};
 
 /// Whether `TENSAT_VERIFY_RULES=1` turns on static rule verification at
@@ -41,11 +43,47 @@ fn verify_rule_set(singles: &[TensorRewrite], multis: &[MultiPatternRule]) {
 /// Which extraction algorithm to run after exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExtractionMode {
-    /// Greedy per-class extraction (paper §5.1, "Greedy extraction").
+    /// Tree-greedy per-class extraction (paper §5.1, "Greedy extraction").
     Greedy,
+    /// Global greedy DAG extraction: charges shared subgraphs once, at
+    /// greedy speed (never worse than [`ExtractionMode::Greedy`] on DAG
+    /// cost).
+    GreedyDag,
     /// ILP extraction (paper §5.1, "ILP extraction"). This is TENSAT's
     /// default configuration.
     Ilp,
+}
+
+impl ExtractionMode {
+    /// Parses a strategy name as accepted by the `TENSAT_EXTRACTOR`
+    /// environment variable: `greedy` / `tree` / `tree-greedy`,
+    /// `dag` / `greedy-dag`, or `ilp` (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ExtractionMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "greedy" | "tree" | "tree-greedy" => Some(ExtractionMode::Greedy),
+            "dag" | "greedy-dag" => Some(ExtractionMode::GreedyDag),
+            "ilp" => Some(ExtractionMode::Ilp),
+            _ => None,
+        }
+    }
+
+    /// The extraction mode requested via the `TENSAT_EXTRACTOR` environment
+    /// variable, if set to a recognized name. Read uncached (like
+    /// `TENSAT_SEARCH_THREADS`) so tests and harnesses can vary it per run.
+    pub fn from_env() -> Option<ExtractionMode> {
+        std::env::var("TENSAT_EXTRACTOR")
+            .ok()
+            .and_then(|v| ExtractionMode::from_name(&v))
+    }
+
+    /// The strategy name this mode resolves to at the extraction seam.
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            ExtractionMode::Greedy => "tree-greedy",
+            ExtractionMode::GreedyDag => "greedy-dag",
+            ExtractionMode::Ilp => "ilp",
+        }
+    }
 }
 
 /// Full optimizer configuration.
@@ -84,6 +122,9 @@ pub struct OptimizerConfig {
 }
 
 impl Default for OptimizerConfig {
+    /// Paper defaults, except that a `TENSAT_EXTRACTOR` environment
+    /// override (see [`ExtractionMode::from_env`]) replaces the default
+    /// ILP extraction when set.
     fn default() -> Self {
         OptimizerConfig {
             k_multi: 1,
@@ -92,7 +133,7 @@ impl Default for OptimizerConfig {
             exploration_time_limit: Duration::from_secs(60),
             cycle_filter: CycleFilter::Efficient,
             search_threads: default_search_threads(),
-            extraction: ExtractionMode::Ilp,
+            extraction: ExtractionMode::from_env().unwrap_or(ExtractionMode::Ilp),
             ilp_cycle_constraints: false,
             ilp_integer_topo_vars: false,
             ilp_time_limit: Duration::from_secs(60),
@@ -115,10 +156,13 @@ pub struct OptimizationStats {
 /// The result of optimizing one graph.
 #[derive(Debug, Clone)]
 pub struct OptimizationResult {
-    /// Estimated cost of the input graph (µs).
+    /// Estimated cost of the input graph (µs, DAG-counted).
     pub original_cost: f64,
-    /// Estimated cost of the optimized graph (µs).
+    /// Estimated cost of the optimized graph (µs, DAG-counted).
     pub optimized_cost: f64,
+    /// Composite cost of the optimized graph (latency, peak memory,
+    /// launches); `optimized_cost` is its latency component.
+    pub optimized_composite: Cost,
     /// The optimized graph.
     pub optimized_graph: RecExpr<TensorLang>,
     /// Run statistics.
@@ -240,7 +284,8 @@ impl Optimizer {
         graph: &RecExpr<TensorLang>,
     ) -> Result<OptimizationResult, ExtractError> {
         let model = &self.config.cost_model;
-        let original_cost = model.graph_cost(graph);
+        let original_composite = model.graph_cost_composite(graph);
+        let original_cost = original_composite.latency;
 
         let mut egraph = TensorEGraph::new(TensorAnalysis);
         let root = egraph.add_expr(graph);
@@ -262,31 +307,37 @@ impl Optimizer {
             &exploration_config,
         );
 
-        let (outcome, ilp_stats) = match self.config.extraction {
-            ExtractionMode::Greedy => (extract_greedy(&egraph, root, model)?, None),
-            ExtractionMode::Ilp => {
-                let ilp_config = IlpConfig {
+        // All modes go through the one extraction seam.
+        let strategy: Box<dyn ExtractionStrategy> = match self.config.extraction {
+            ExtractionMode::Greedy => Box::new(TreeGreedy),
+            ExtractionMode::GreedyDag => Box::new(GreedyDag),
+            ExtractionMode::Ilp => Box::new(IlpExtraction {
+                config: IlpConfig {
                     cycle_constraints: self.config.ilp_cycle_constraints,
                     integer_topo_vars: self.config.ilp_integer_topo_vars,
                     time_limit: self.config.ilp_time_limit,
                     warm_start_with_greedy: true,
-                };
-                let (outcome, stats) = extract_ilp(&egraph, root, model, &ilp_config)?;
-                (outcome, Some(stats))
-            }
+                },
+            }),
         };
+        let outcome = strategy.extract(&egraph, root, model)?;
 
         // Never return a graph worse than the input: the input itself is
-        // always represented in the e-graph.
-        let (optimized_graph, optimized_cost) = if outcome.cost <= original_cost {
-            (outcome.expr, outcome.cost)
-        } else {
-            (graph.clone(), original_cost)
-        };
+        // always represented in the e-graph. Comparison is the composite
+        // lexicographic order, so ties on latency break toward the graph
+        // with less memory/fewer launches — deterministically.
+        let ilp_stats = outcome.ilp;
+        let (optimized_graph, optimized_composite) =
+            if outcome.cost.total_order(&original_composite).is_le() {
+                (outcome.expr, outcome.cost)
+            } else {
+                (graph.clone(), original_composite)
+            };
 
         Ok(OptimizationResult {
             original_cost,
-            optimized_cost,
+            optimized_cost: optimized_composite.latency,
+            optimized_composite,
             optimized_graph,
             stats: OptimizationStats {
                 exploration,
@@ -341,6 +392,46 @@ mod tests {
         };
         let result = Optimizer::new(config).optimize(&graph).unwrap();
         assert!(result.optimized_cost <= result.original_cost);
+    }
+
+    #[test]
+    fn greedy_dag_mode_at_least_matches_greedy() {
+        let graph = parallel_matmul_graph();
+        let greedy = Optimizer::new(OptimizerConfig {
+            extraction: ExtractionMode::Greedy,
+            ..Default::default()
+        })
+        .optimize(&graph)
+        .unwrap();
+        let dag = Optimizer::new(OptimizerConfig {
+            extraction: ExtractionMode::GreedyDag,
+            ..Default::default()
+        })
+        .optimize(&graph)
+        .unwrap();
+        assert!(dag.optimized_cost <= greedy.optimized_cost + 1e-9);
+        assert!(dag.optimized_cost <= dag.original_cost);
+        // The composite view is consistent with the scalar one.
+        assert_eq!(dag.optimized_composite.latency, dag.optimized_cost);
+        assert!(dag.optimized_composite.launches >= 1.0);
+    }
+
+    #[test]
+    fn extractor_names_parse_like_the_env_override() {
+        for (name, mode) in [
+            ("greedy", ExtractionMode::Greedy),
+            ("tree", ExtractionMode::Greedy),
+            ("tree-greedy", ExtractionMode::Greedy),
+            ("dag", ExtractionMode::GreedyDag),
+            ("GREEDY-DAG", ExtractionMode::GreedyDag),
+            ("ilp", ExtractionMode::Ilp),
+        ] {
+            assert_eq!(ExtractionMode::from_name(name), Some(mode));
+        }
+        assert_eq!(ExtractionMode::from_name("beam"), None);
+        assert_eq!(ExtractionMode::Greedy.strategy_name(), "tree-greedy");
+        assert_eq!(ExtractionMode::GreedyDag.strategy_name(), "greedy-dag");
+        assert_eq!(ExtractionMode::Ilp.strategy_name(), "ilp");
     }
 
     #[test]

@@ -1,12 +1,22 @@
 //! Extraction: choosing one e-node per e-class to produce the best concrete
 //! term represented by an e-graph.
 //!
-//! This module provides the *greedy* extractor (per-class minimum subtree
-//! cost, paper §5.1). The ILP extractor, which accounts for sharing and
-//! acyclicity, lives in `tensat-core` because it depends on the ILP solver
-//! substrate.
+//! This module provides two extractors:
+//!
+//! * [`Extractor`] — the *tree-greedy* extractor (per-class minimum subtree
+//!   cost, paper §5.1). Fast, but it treats children independently, so
+//!   shared subgraphs are charged once per use.
+//! * [`DagExtractor`] — the *global greedy DAG* extractor: a worklist-driven
+//!   fixpoint that charges every e-node **once** regardless of how many
+//!   selected parents share it, tracking per-class reachability sets over
+//!   the e-graph's dense slot space.
+//!
+//! The ILP extractor, which is DAG-exact, lives in `tensat-core` because it
+//! depends on the ILP solver substrate; `tensat-core` also wraps all three
+//! behind its `ExtractionStrategy` seam.
 
-use crate::{Analysis, EGraph, Id, Language, RecExpr};
+use crate::{Analysis, BitSet, EGraph, Id, Language, RecExpr};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A cost function over e-nodes.
@@ -15,7 +25,8 @@ use std::collections::HashMap;
 /// cost of each child *e-class*; it returns the total cost of the subtree
 /// rooted at this node.
 pub trait CostFunction<L: Language> {
-    /// The cost type; must be totally ordered for extraction to pick minima.
+    /// The cost type; must be totally ordered (see [`CostFunction::cmp`])
+    /// for extraction to pick minima.
     type Cost: PartialOrd + Clone + std::fmt::Debug;
 
     /// Computes the cost of `enode` given a function yielding the best known
@@ -23,6 +34,30 @@ pub trait CostFunction<L: Language> {
     fn cost<C>(&mut self, enode: &L, costs: C) -> Self::Cost
     where
         C: FnMut(Id) -> Self::Cost;
+
+    /// Total-order comparison used to pick per-class minima.
+    ///
+    /// The default falls back to `partial_cmp`. `PartialOrd` alone is a
+    /// hazard for float costs: a NaN from a degenerate cost model makes
+    /// every comparison false, which under the old `best <= cost` guard
+    /// silently *replaced* a finite best with NaN and poisoned every
+    /// ancestor class. Incomparable pairs now debug-assert and are treated
+    /// as [`Ordering::Greater`] (an incomparable candidate never wins), and
+    /// float-costed implementations should override this with
+    /// [`f64::total_cmp`], under which NaN orders above `+inf` and loses to
+    /// every finite cost.
+    fn cmp(a: &Self::Cost, b: &Self::Cost) -> Ordering {
+        match a.partial_cmp(b) {
+            Some(o) => o,
+            None => {
+                debug_assert!(
+                    false,
+                    "incomparable extraction costs (NaN?): {a:?} vs {b:?}"
+                );
+                Ordering::Greater
+            }
+        }
+    }
 }
 
 /// Counts AST nodes: the classic "smallest term" cost function.
@@ -131,8 +166,11 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
                         continue;
                     }
                     if let Some(cost) = self.node_cost(node) {
+                        // Total-order comparison: replace only on a strict
+                        // improvement, so NaN (incomparable / ordered above
+                        // +inf) can never displace a finite best.
                         match &self.best[slot] {
-                            Some((best, _)) if *best <= cost => {}
+                            Some((best, _)) if CF::cmp(&cost, best) != Ordering::Less => {}
                             _ => {
                                 self.best[slot] = Some((cost, node.clone()));
                                 changed = true;
@@ -239,6 +277,396 @@ impl<'a, L: Language, N: Analysis<L>, CF: CostFunction<L>> Extractor<'a, L, N, C
             match stack.last_mut() {
                 Some(parent) => parent.children.push(id),
                 None => return Some(id),
+            }
+        }
+    }
+}
+
+/// A per-node cost function for DAG-aware extraction.
+///
+/// Unlike [`CostFunction`], which costs a whole *subtree* given child
+/// subtree costs, a `DagCostFunction` prices a single e-node in isolation;
+/// the [`DagExtractor`] sums node costs over the *set* of selected classes,
+/// charging shared subgraphs once. Costs therefore need an additive monoid
+/// ([`DagCostFunction::zero`] / [`DagCostFunction::add_assign`]) on top of
+/// the total order.
+pub trait DagCostFunction<L: Language> {
+    /// The cost type.
+    type Cost: PartialOrd + Clone + std::fmt::Debug;
+
+    /// The cost of this single e-node, children excluded. Must be
+    /// deterministic: the extractor calls it repeatedly during the
+    /// fixpoint and once more when costing the final selection.
+    fn node_cost(&mut self, enode: &L) -> Self::Cost;
+
+    /// The additive identity.
+    fn zero(&self) -> Self::Cost;
+
+    /// Accumulates `item` into `acc`.
+    fn add_assign(&self, acc: &mut Self::Cost, item: &Self::Cost);
+
+    /// Total-order comparison; same contract as [`CostFunction::cmp`].
+    fn cmp(a: &Self::Cost, b: &Self::Cost) -> Ordering {
+        match a.partial_cmp(b) {
+            Some(o) => o,
+            None => {
+                debug_assert!(
+                    false,
+                    "incomparable extraction costs (NaN?): {a:?} vs {b:?}"
+                );
+                Ordering::Greater
+            }
+        }
+    }
+}
+
+/// DAG size: [`AstSize`]'s sharing-aware counterpart (each node counts 1,
+/// shared nodes once).
+impl<L: Language> DagCostFunction<L> for AstSize {
+    type Cost = usize;
+    fn node_cost(&mut self, _enode: &L) -> usize {
+        1
+    }
+    fn zero(&self) -> usize {
+        0
+    }
+    fn add_assign(&self, acc: &mut usize, item: &usize) {
+        *acc = acc.saturating_add(*item);
+    }
+}
+
+/// The per-class state of a [`DagExtractor`] entry.
+struct DagEntry<L, C> {
+    /// The chosen e-node.
+    choice: L,
+    /// This node's own (children-excluded) cost.
+    own: C,
+    /// Slots of every class in the chosen sub-DAG, including this one.
+    reach: BitSet,
+    /// Total cost of the sub-DAG: own costs summed over `reach`, each
+    /// class charged once.
+    total: C,
+}
+
+/// Global greedy DAG extractor (ROADMAP "DAG-aware global extraction").
+///
+/// The tree-greedy [`Extractor`] double-counts shared subgraphs, so it
+/// never pays a small up-front cost (e.g. the `split` form of a merged
+/// matmul) to share a large subgraph between two consumers — the weakness
+/// the paper's ILP extraction exists to fix (paper §5.1, Table 4). This
+/// extractor closes most of that gap at greedy speed: for every e-class it
+/// keeps the best known *sub-DAG* — a chosen e-node, the [`BitSet`] of
+/// classes its selection reaches (over [`EGraph::slot_index`]'s dense slot
+/// space), and the cost of that set with every class charged **once**.
+///
+/// Candidates are evaluated bottom-up in a topological order of the class
+/// dependency graph (Kahn's algorithm over unfiltered e-node child edges),
+/// then a FIFO worklist propagates strict improvements to parent classes
+/// until fixpoint. A candidate node is viable only when all its child
+/// classes have entries and the union of their reach sets does not contain
+/// the candidate's own class (which would make the selection cyclic). On
+/// an acyclic e-graph — what cycle filtering guarantees during exploration
+/// — the topological pass alone reaches the fixpoint and the worklist
+/// drains immediately; on cyclic e-graphs the worklist resolves the
+/// stragglers best-effort and [`DagExtractor::find_best`] re-verifies
+/// acyclicity of the final selection.
+///
+/// Everything is slot-indexed flat arrays — no per-call hash maps — and
+/// every iteration order (class slots, in-class node order, FIFO worklist)
+/// is deterministic, so repeated runs return bit-identical expressions.
+///
+/// # Examples
+///
+/// ```
+/// use tensat_egraph::{EGraph, DagExtractor, AstSize, Symbol};
+/// use tensat_egraph::doctest_lang::SimpleMath as Math;
+/// let mut eg: EGraph<Math, ()> = EGraph::new(());
+/// let a = eg.add(Math::Sym(Symbol::new("a")));
+/// let two = eg.add(Math::Num(2));
+/// let mul = eg.add(Math::Mul([a, two]));
+/// eg.union(mul, a); // pretend we proved (* a 2) == a
+/// eg.rebuild();
+/// let extractor = DagExtractor::new(&eg, AstSize);
+/// let (dag_size, expr) = extractor.find_best(mul).unwrap();
+/// assert_eq!(dag_size, 1);
+/// assert_eq!(expr.to_string(), "a");
+/// ```
+pub struct DagExtractor<'a, L: Language, N: Analysis<L>, DF: DagCostFunction<L>> {
+    egraph: &'a EGraph<L, N>,
+    cost_fn: std::cell::RefCell<DF>,
+    /// Best sub-DAG per class, indexed by the e-graph's dense slot space.
+    entries: Vec<Option<DagEntry<L, DF::Cost>>>,
+    /// Canonical class id per slot (`None` for dead slots).
+    slot_id: Vec<Option<Id>>,
+}
+
+impl<L: Language, N: Analysis<L>, DF: DagCostFunction<L>> std::fmt::Debug
+    for DagExtractor<'_, L, N, DF>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DagExtractor")
+            .field(
+                "classes_with_entry",
+                &self.entries.iter().filter(|e| e.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl<'a, L: Language, N: Analysis<L>, DF: DagCostFunction<L>> DagExtractor<'a, L, N, DF> {
+    /// Computes the best sub-DAG for every e-class of the e-graph.
+    pub fn new(egraph: &'a EGraph<L, N>, cost_fn: DF) -> Self {
+        let mut slot_id: Vec<Option<Id>> = vec![None; egraph.num_slots()];
+        for class in egraph.classes() {
+            slot_id[egraph.slot_index(class.id).expect("iterated class is live")] = Some(class.id);
+        }
+        let mut extractor = DagExtractor {
+            egraph,
+            cost_fn: std::cell::RefCell::new(cost_fn),
+            entries: (0..egraph.num_slots()).map(|_| None).collect(),
+            slot_id,
+        };
+        extractor.run_worklist();
+        extractor
+    }
+
+    /// Builds the deduplicated class-level child/parent adjacency over
+    /// unfiltered e-nodes (self-edges excluded; a node whose child is its
+    /// own class is rejected per-candidate by the reach-set check instead).
+    fn adjacency(&self) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let n = self.egraph.num_slots();
+        let mut children: Vec<Vec<u32>> = vec![vec![]; n];
+        let mut parents: Vec<Vec<u32>> = vec![vec![]; n];
+        for class in self.egraph.classes() {
+            let s = self
+                .egraph
+                .slot_index(class.id)
+                .expect("iterated class is live");
+            for node in class.iter() {
+                if self.egraph.is_filtered(node) {
+                    continue;
+                }
+                for &child in node.children() {
+                    let c = self
+                        .egraph
+                        .slot_index(self.egraph.find(child))
+                        .expect("child of a live class is live");
+                    if c != s {
+                        children[s].push(c as u32);
+                    }
+                }
+            }
+            children[s].sort_unstable();
+            children[s].dedup();
+            for &c in &children[s] {
+                parents[c as usize].push(s as u32);
+            }
+        }
+        // Parents were appended in ascending `s` per child, so each list is
+        // already sorted and duplicate-free.
+        (children, parents)
+    }
+
+    fn run_worklist(&mut self) {
+        let n = self.egraph.num_slots();
+        let (children, parents) = self.adjacency();
+
+        // Kahn's algorithm: children-before-parents order. Classes caught
+        // in dependency cycles keep a nonzero indegree and are appended in
+        // slot order; the worklist phase handles them best-effort.
+        let mut indeg: Vec<u32> = children.iter().map(|c| c.len() as u32).collect();
+        let live = |s: u32| self.slot_id[s as usize].is_some();
+        let mut order: Vec<u32> = (0..n as u32)
+            .filter(|&s| live(s) && indeg[s as usize] == 0)
+            .collect();
+        let mut i = 0;
+        while i < order.len() {
+            let s = order[i] as usize;
+            i += 1;
+            for &p in &parents[s] {
+                indeg[p as usize] -= 1;
+                if indeg[p as usize] == 0 {
+                    order.push(p);
+                }
+            }
+        }
+        let mut in_order = vec![false; n];
+        for &s in &order {
+            in_order[s as usize] = true;
+        }
+        order.extend((0..n as u32).filter(|&s| live(s) && !in_order[s as usize]));
+
+        // Seed the worklist with the topological order, then drain FIFO.
+        let mut queue: std::collections::VecDeque<u32> = order.into();
+        let mut in_queue = vec![true; n];
+        let mut scratch = BitSet::new(n);
+        while let Some(s) = queue.pop_front() {
+            let s = s as usize;
+            in_queue[s] = false;
+            if self.evaluate(s, &mut scratch) {
+                for &p in &parents[s] {
+                    if !in_queue[p as usize] {
+                        in_queue[p as usize] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates every candidate node of the class in slot `s` and
+    /// installs the cheapest viable one if it strictly improves on the
+    /// current entry. Returns true on improvement.
+    fn evaluate(&mut self, s: usize, scratch: &mut BitSet) -> bool {
+        let id = match self.slot_id[s] {
+            Some(id) => id,
+            None => return false,
+        };
+        let class = self.egraph.eclass(id);
+        let mut best: Option<(DF::Cost, &L, BitSet)> = None;
+        'candidates: for node in class.iter() {
+            if self.egraph.is_filtered(node) {
+                continue;
+            }
+            scratch.clear();
+            for &child in node.children() {
+                let c = match self.egraph.slot_index(self.egraph.find(child)) {
+                    Some(c) => c,
+                    None => continue 'candidates,
+                };
+                match &self.entries[c] {
+                    Some(entry) => {
+                        scratch.union_with(&entry.reach);
+                    }
+                    None => continue 'candidates,
+                }
+            }
+            if scratch.contains(s) {
+                // The children's combined sub-DAG already reaches this
+                // class: selecting this node would close a cycle.
+                continue;
+            }
+            let mut total = self.cost_fn.borrow_mut().node_cost(node);
+            {
+                let cf = self.cost_fn.borrow();
+                for d in scratch.iter_ones() {
+                    let own = &self.entries[d].as_ref().expect("unioned entry exists").own;
+                    cf.add_assign(&mut total, own);
+                }
+            }
+            let better = match &best {
+                None => true,
+                Some((cost, _, _)) => DF::cmp(&total, cost) == Ordering::Less,
+            };
+            if better {
+                best = Some((total, node, scratch.clone()));
+            }
+        }
+        let (total, node, mut reach) = match best {
+            Some(b) => b,
+            None => return false,
+        };
+        let improved = match &self.entries[s] {
+            None => true,
+            Some(entry) => DF::cmp(&total, &entry.total) == Ordering::Less,
+        };
+        if improved {
+            reach.insert(s);
+            let node = node.clone();
+            let own = self.cost_fn.borrow_mut().node_cost(&node);
+            self.entries[s] = Some(DagEntry {
+                choice: node,
+                own,
+                reach,
+                total,
+            });
+        }
+        improved
+    }
+
+    /// The best DAG cost recorded for a class, if any.
+    pub fn best_cost(&self, id: Id) -> Option<DF::Cost> {
+        let slot = self.egraph.slot_index(self.egraph.find(id))?;
+        self.entries[slot].as_ref().map(|e| e.total.clone())
+    }
+
+    /// The chosen e-node for a class.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        let slot = self.egraph.slot_index(self.egraph.find(id))?;
+        self.entries[slot].as_ref().map(|e| &e.choice)
+    }
+
+    /// Extracts the best DAG rooted at `root`: the cost (each selected
+    /// e-node charged once) and the expression. The cost is recomputed
+    /// from the final selection rather than read from the fixpoint cache,
+    /// so it is honest even when a cyclic e-graph left stale entries.
+    /// Returns `None` if the class has no viable selection or (possible
+    /// only without cycle filtering) the per-class choices form a cycle.
+    pub fn find_best(&self, root: Id) -> Option<(DF::Cost, RecExpr<L>)> {
+        let root = self.egraph.find(root);
+        let n = self.egraph.num_slots();
+        let mut expr = RecExpr::default();
+        let mut done: Vec<Option<Id>> = vec![None; n];
+        let mut on_stack = BitSet::new(n);
+        let mut cost = self.cost_fn.borrow().zero();
+
+        // Explicit stack: extracted DAGs can be deeper than a thread stack.
+        struct Frame<L> {
+            slot: usize,
+            node: L,
+            next_child: usize,
+            children: Vec<Id>,
+        }
+        let frame = |slot: usize, node: L| Frame {
+            slot,
+            node,
+            next_child: 0,
+            children: vec![],
+        };
+
+        let root_slot = self.egraph.slot_index(root)?;
+        let mut stack = vec![frame(
+            root_slot,
+            self.entries[root_slot].as_ref()?.choice.clone(),
+        )];
+        if !on_stack.insert(root_slot) {
+            return None;
+        }
+        loop {
+            let top = stack.last_mut().expect("loop returns before emptying");
+            if let Some(&child) = top.node.children().get(top.next_child) {
+                top.next_child += 1;
+                let slot = self.egraph.slot_index(self.egraph.find(child))?;
+                if let Some(done) = done[slot] {
+                    top.children.push(done);
+                } else {
+                    if !on_stack.insert(slot) {
+                        // A selection cycle (stale entries on a cyclic
+                        // e-graph): no finite term.
+                        return None;
+                    }
+                    let node = self.entries[slot].as_ref()?.choice.clone();
+                    stack.push(frame(slot, node));
+                }
+                continue;
+            }
+            let finished = stack.pop().expect("a frame is always on the stack");
+            {
+                let mut cf = self.cost_fn.borrow_mut();
+                let own = cf.node_cost(&finished.node);
+                cf.add_assign(&mut cost, &own);
+            }
+            let mut i = 0;
+            let node = finished.node.map_children(|_| {
+                let id = finished.children[i];
+                i += 1;
+                id
+            });
+            let id = expr.add(node);
+            done[finished.slot] = Some(id);
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(id),
+                None => return Some((cost, expr)),
             }
         }
     }
@@ -367,5 +795,188 @@ mod tests {
         // The extracted RecExpr shares the (+ a b) node.
         assert_eq!(expr.len(), 4);
         assert_eq!(expr.to_string(), "(* (+ a b) (+ a b))");
+    }
+
+    /// Regression test for the `f64` total-order hazard: under the old
+    /// `best <= cost` guard, a NaN candidate made the comparison false and
+    /// *replaced* a finite best, poisoning every ancestor class. With
+    /// total-order comparison an incomparable candidate never wins.
+    #[test]
+    fn nan_cost_cannot_displace_a_finite_best() {
+        struct NanOnShl;
+        impl CostFunction<Math> for NanOnShl {
+            type Cost = f64;
+            fn cost<C>(&mut self, enode: &Math, mut costs: C) -> f64
+            where
+                C: FnMut(Id) -> f64,
+            {
+                let own = match enode {
+                    Math::Shl(..) => f64::NAN, // degenerate cost model
+                    _ => 1.0,
+                };
+                enode.children().iter().fold(own, |acc, &c| acc + costs(c))
+            }
+            // Override like `TreeCost` does, so NaN orders above +inf
+            // instead of tripping the default's debug assertion.
+            fn cmp(a: &f64, b: &f64) -> Ordering {
+                a.total_cmp(b)
+            }
+        }
+
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let one = eg.add(Math::Num(1));
+        let mul = eg.add(Math::Mul([a, two]));
+        let shl = eg.add(Math::Shl([a, one]));
+        eg.union(mul, shl);
+        // A parent so the poison would have propagated upward.
+        let root = eg.add(Math::Add([mul, a]));
+        eg.rebuild();
+
+        let ex = Extractor::new(&eg, NanOnShl);
+        let (cost, best) = ex.find_best(root).unwrap();
+        assert!(cost.is_finite(), "NaN displaced the finite best: {cost}");
+        assert_eq!(best.to_string(), "(+ (* a 2) a)");
+    }
+
+    #[test]
+    fn dag_extractor_agrees_with_tree_on_unshared_terms() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        let div = eg.add(Math::Div([mul, two]));
+        eg.union(div, a);
+        eg.rebuild();
+        let ex = DagExtractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(div).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
+        assert_eq!(ex.best_cost(div), Some(1));
+        assert!(matches!(ex.best_node(div), Some(Math::Sym(_))));
+    }
+
+    #[test]
+    fn dag_extractor_charges_shared_subgraphs_once() {
+        // Tree-greedy pays the big subgraph once per use; the DAG extractor
+        // charges it once. Build a root class with two candidates:
+        //   (* big big)        tree cost 23, DAG cost 8   (big = 5-deep chain)
+        //   9-deep chain on b  tree cost 19, DAG cost 11
+        // Tree-greedy prefers the chain (19 < 23); the DAG extractor must
+        // prefer the shared form (8 < 11).
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let one = eg.add(Math::Num(1));
+        let mut big = eg.add(sym("a"));
+        for _ in 0..5 {
+            big = eg.add(Math::Mul([big, one]));
+        }
+        let shared = eg.add(Math::Mul([big, big]));
+        let mut chain = eg.add(sym("b"));
+        for _ in 0..9 {
+            chain = eg.add(Math::Add([chain, one]));
+        }
+        eg.union(shared, chain);
+        eg.rebuild();
+
+        let tree = Extractor::new(&eg, AstSize);
+        let (tree_cost, tree_expr) = tree.find_best(shared).unwrap();
+        assert_eq!(tree_cost, 19);
+        assert!(tree_expr.to_string().contains('b'));
+
+        let dag = DagExtractor::new(&eg, AstSize);
+        let (dag_cost, dag_expr) = dag.find_best(shared).unwrap();
+        assert_eq!(dag_cost, 8);
+        assert!(dag_expr.to_string().contains('a'));
+        // The expression is a genuine DAG: 8 distinct nodes, each stored once.
+        assert_eq!(dag_expr.len(), 8);
+    }
+
+    #[test]
+    fn dag_extractor_handles_cycles_in_egraph() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let one = eg.add(Math::Num(1));
+        let fa = eg.add(Math::Mul([a, one]));
+        eg.union(a, fa);
+        eg.rebuild();
+        let ex = DagExtractor::new(&eg, AstSize);
+        let (cost, best) = ex.find_best(a).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(best.to_string(), "a");
+    }
+
+    #[test]
+    fn dag_extractor_skips_filtered_nodes() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let two = eg.add(Math::Num(2));
+        let mul = eg.add(Math::Mul([a, two]));
+        let one = eg.add(Math::Num(1));
+        let shl = eg.add(Math::Shl([a, one]));
+        eg.union(mul, shl);
+        eg.rebuild();
+        let one = eg.lookup(&Math::Num(1)).unwrap();
+        eg.filter_node(&Math::Shl([a, one]));
+        let ex = DagExtractor::new(&eg, AstSize);
+        let (_, best) = ex.find_best(mul).unwrap();
+        assert_eq!(best.to_string(), "(* a 2)");
+
+        let mut all_filtered: EGraph<Math, ()> = EGraph::new(());
+        let a = all_filtered.add(sym("a"));
+        all_filtered.rebuild();
+        all_filtered.filter_node(&sym("a"));
+        assert!(DagExtractor::new(&all_filtered, AstSize)
+            .find_best(a)
+            .is_none());
+    }
+
+    #[test]
+    fn dag_extractor_is_deterministic() {
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let a = eg.add(sym("a"));
+        let b = eg.add(sym("b"));
+        let ab = eg.add(Math::Add([a, b]));
+        let ba = eg.add(Math::Add([b, a]));
+        eg.union(ab, ba); // two equal-cost candidates in one class
+        let root = eg.add(Math::Mul([ab, ab]));
+        eg.rebuild();
+        let first = DagExtractor::new(&eg, AstSize).find_best(root).unwrap();
+        for _ in 0..3 {
+            let again = DagExtractor::new(&eg, AstSize).find_best(root).unwrap();
+            assert_eq!(again.0, first.0);
+            // Bit-identical expression, not just equal cost.
+            assert_eq!(
+                again
+                    .1
+                    .iter()
+                    .map(|(i, n)| (i, n.clone()))
+                    .collect::<Vec<_>>(),
+                first
+                    .1
+                    .iter()
+                    .map(|(i, n)| (i, n.clone()))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn dag_extractor_survives_deep_chains() {
+        // The worklist and the expression builder are both iterative; only
+        // the reach sets grow with depth (O(depth²/64) bits total here).
+        const DEPTH: usize = 2_000;
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        let one = eg.add(Math::Num(1));
+        let mut id = eg.add(sym("a"));
+        for _ in 0..DEPTH {
+            id = eg.add(Math::Mul([id, one]));
+        }
+        eg.rebuild();
+        let ex = DagExtractor::new(&eg, AstSize);
+        let (cost, expr) = ex.find_best(id).unwrap();
+        // DAG cost charges each node once: two leaves + one Mul per level.
+        assert_eq!(cost, DEPTH + 2);
+        assert_eq!(expr.len(), DEPTH + 2);
     }
 }

@@ -30,7 +30,9 @@
 //!   matching instead of by a post-match condition.
 //! * [`Runner`] — equality saturation with iteration / node / time limits
 //!   and saturation detection.
-//! * [`Extractor`] — greedy extraction with a pluggable [`CostFunction`].
+//! * [`Extractor`] / [`DagExtractor`] — tree-greedy and global greedy DAG
+//!   extraction with pluggable cost functions ([`CostFunction`] /
+//!   [`DagCostFunction`]).
 //!
 //! ## Quick start
 //!
@@ -55,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analysis;
+mod bitset;
 mod eclass;
 mod egraph;
 mod extract;
@@ -67,9 +70,10 @@ mod runner;
 mod unionfind;
 
 pub use analysis::{merge_max, Analysis, DidMerge};
+pub use bitset::BitSet;
 pub use eclass::EClass;
 pub use egraph::EGraph;
-pub use extract::{AstDepth, AstSize, CostFunction, Extractor};
+pub use extract::{AstDepth, AstSize, CostFunction, DagCostFunction, DagExtractor, Extractor};
 pub use language::{Id, Language, Symbol};
 pub use machine::{
     Guard, GuardFn, GuardedProgram, Instruction, Program, Reg, SearchQuery, TagMask,

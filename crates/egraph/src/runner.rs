@@ -181,6 +181,32 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self.search_threads = n_threads.max(1);
         self
     }
+
+    /// Extracts the best term for the first seeded root with the tree-greedy
+    /// [`crate::Extractor`]. Panics if no expression was seeded.
+    pub fn extract_tree<CF: crate::CostFunction<L>>(
+        &self,
+        cost_fn: CF,
+    ) -> Option<(CF::Cost, RecExpr<L>)> {
+        let root = *self
+            .roots
+            .first()
+            .expect("Runner::extract_tree needs a seeded root");
+        crate::Extractor::new(&self.egraph, cost_fn).find_best(root)
+    }
+
+    /// Extracts the best DAG for the first seeded root with the global
+    /// greedy [`crate::DagExtractor`]. Panics if no expression was seeded.
+    pub fn extract_dag<DF: crate::DagCostFunction<L>>(
+        &self,
+        cost_fn: DF,
+    ) -> Option<(DF::Cost, RecExpr<L>)> {
+        let root = *self
+            .roots
+            .first()
+            .expect("Runner::extract_dag needs a seeded root");
+        crate::DagExtractor::new(&self.egraph, cost_fn).find_best(root)
+    }
 }
 
 impl<L, N> Runner<L, N>

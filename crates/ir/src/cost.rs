@@ -16,7 +16,96 @@
 
 use crate::shape::{infer, infer_recexpr, TensorData};
 use crate::{TensorAnalysis, TensorLang};
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign};
 use tensat_egraph::{EGraph, Id, Language, RecExpr};
+
+/// A composite, Pareto-comparable extraction cost.
+///
+/// The paper optimizes a single scalar (summed operator runtime); real
+/// deployment also cares about memory footprint and kernel-launch count, so
+/// the extraction seam carries all three and lets strategies trade them
+/// off. Comparisons used by extraction are *lexicographic* — latency first,
+/// peak memory, then launches — so latency remains the paper-faithful
+/// primary objective and the other fields only break ties deterministically.
+/// [`Cost::dominates`] gives the Pareto order for frontier surfacing.
+///
+/// The lexicographic order is total (each field compares with
+/// [`f64::total_cmp`], under which NaN orders above `+inf` and therefore
+/// never wins a minimum), so `PartialOrd::partial_cmp` never returns `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Summed operator latency in microseconds — the paper's objective.
+    pub latency: f64,
+    /// Approximate peak memory in bytes: the sum of materialized operator
+    /// outputs (free/metadata-only nodes materialize nothing new).
+    pub peak_memory: f64,
+    /// Number of kernel launches (one per non-free operator).
+    pub launches: f64,
+}
+
+impl Cost {
+    /// The additive identity (a free node / empty graph).
+    pub const ZERO: Cost = Cost {
+        latency: 0.0,
+        peak_memory: 0.0,
+        launches: 0.0,
+    };
+
+    /// The cost of an ill-typed node: never selected by any extractor.
+    pub const INFINITE: Cost = Cost {
+        latency: f64::INFINITY,
+        peak_memory: f64::INFINITY,
+        launches: f64::INFINITY,
+    };
+
+    /// True if every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.latency.is_finite() && self.peak_memory.is_finite() && self.launches.is_finite()
+    }
+
+    /// The total lexicographic order used by extraction: latency, then
+    /// peak memory, then launches, each via [`f64::total_cmp`].
+    pub fn total_order(&self, other: &Cost) -> Ordering {
+        self.latency
+            .total_cmp(&other.latency)
+            .then_with(|| self.peak_memory.total_cmp(&other.peak_memory))
+            .then_with(|| self.launches.total_cmp(&other.launches))
+    }
+
+    /// Pareto dominance: no component worse, at least one strictly better.
+    pub fn dominates(&self, other: &Cost) -> bool {
+        self.latency <= other.latency
+            && self.peak_memory <= other.peak_memory
+            && self.launches <= other.launches
+            && (self.latency < other.latency
+                || self.peak_memory < other.peak_memory
+                || self.launches < other.launches)
+    }
+}
+
+impl PartialOrd for Cost {
+    /// Always `Some`: the lexicographic [`Cost::total_order`] is total.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_order(other))
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(mut self, rhs: Cost) -> Cost {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.latency += rhs.latency;
+        self.peak_memory += rhs.peak_memory;
+        self.launches += rhs.launches;
+    }
+}
 
 /// Analytical GPU cost model. Costs are in microseconds.
 #[derive(Debug, Clone)]
@@ -181,6 +270,31 @@ impl CostModel {
         }
     }
 
+    /// The composite [`Cost`] of a single operator node. Latency is
+    /// [`CostModel::node_cost`]; a node with zero latency (parameter leaf,
+    /// metadata-only op, weights-only subgraph) is wholly free — it
+    /// materializes nothing new and launches no kernel — while every other
+    /// node charges its output bytes as peak memory and one kernel launch.
+    pub fn node_cost_composite(&self, node: &TensorLang, get: &dyn Fn(Id) -> TensorData) -> Cost {
+        let latency = self.node_cost(node, get);
+        if latency == 0.0 {
+            return Cost::ZERO;
+        }
+        if latency.is_infinite() {
+            return Cost::INFINITE;
+        }
+        let out_elems = match &infer(node, get) {
+            TensorData::Tensor(t) => t.elements().max(0),
+            TensorData::Tuple(a, _) => a.elements().max(0),
+            _ => return Cost::INFINITE,
+        };
+        Cost {
+            latency,
+            peak_memory: out_elems as f64 * self.bytes_per_element,
+            launches: 1.0,
+        }
+    }
+
     /// The cost (µs) of an e-node inside an e-graph, reading children data
     /// from the e-class analysis.
     pub fn enode_cost(
@@ -192,17 +306,69 @@ impl CostModel {
         self.node_cost(enode, &get)
     }
 
+    /// The composite [`Cost`] of an e-node inside an e-graph.
+    pub fn enode_cost_composite(
+        &self,
+        egraph: &EGraph<TensorLang, TensorAnalysis>,
+        enode: &TensorLang,
+    ) -> Cost {
+        let get = |id: Id| egraph.eclass(id).data.clone();
+        self.node_cost_composite(enode, &get)
+    }
+
     /// The total cost (µs) of a concrete tensor graph. Structurally
     /// identical nodes are counted once (the graph is a DAG; shared
     /// sub-computations run once), matching how TASO costs graphs.
     pub fn graph_cost(&self, expr: &RecExpr<TensorLang>) -> f64 {
+        self.graph_cost_composite(expr).latency
+    }
+
+    /// Alias of [`CostModel::graph_cost`] under the name the extraction
+    /// seam reports it as: the *DAG* cost, each node charged once.
+    pub fn dag_cost(&self, expr: &RecExpr<TensorLang>) -> f64 {
+        self.graph_cost(expr)
+    }
+
+    /// The composite DAG cost of a concrete tensor graph (each structurally
+    /// distinct node charged once).
+    pub fn graph_cost_composite(&self, expr: &RecExpr<TensorLang>) -> Cost {
         let data = infer_recexpr(expr);
         let get_all = |id: Id| data[usize::from(id)].clone();
         let mut seen: std::collections::HashSet<&TensorLang> = Default::default();
-        let mut total = 0.0;
+        let mut total = Cost::ZERO;
         for (_, node) in expr.iter() {
             if seen.insert(node) {
-                total += self.node_cost(node, &get_all);
+                total += self.node_cost_composite(node, &get_all);
+            }
+        }
+        total
+    }
+
+    /// The *tree* cost (µs) of a concrete tensor graph: each node charged
+    /// once **per use**, i.e. what the cost would be if shared subgraphs
+    /// were recomputed at every reference. This is the objective the
+    /// tree-greedy extractor actually minimizes; reporting it next to
+    /// [`CostModel::dag_cost`] keeps extractor comparisons honest.
+    pub fn tree_cost(&self, expr: &RecExpr<TensorLang>) -> f64 {
+        let data = infer_recexpr(expr);
+        let get_all = |id: Id| data[usize::from(id)].clone();
+        // Multiplicity pass: the root is used once; every node passes its
+        // own multiplicity to each child reference. Children precede
+        // parents in a RecExpr, so iterate in reverse.
+        let n = expr.len();
+        let mut mult = vec![0.0f64; n];
+        if n > 0 {
+            mult[n - 1] = 1.0;
+        }
+        let mut total = 0.0;
+        for (i, node) in expr.nodes().iter().enumerate().rev() {
+            let m = mult[i];
+            if m == 0.0 {
+                continue;
+            }
+            total += m * self.node_cost(node, &get_all);
+            for &c in node.children() {
+                mult[usize::from(c)] += m;
             }
         }
         total
@@ -313,5 +479,91 @@ mod tests {
         let m = g.matmul(a, b); // inner dims mismatch
         let expr = g.finish(&[m]);
         assert!(cm.graph_cost(&expr).is_infinite());
+        assert!(!cm.graph_cost_composite(&expr).is_finite());
+    }
+
+    #[test]
+    fn composite_order_is_total_and_latency_first() {
+        let a = Cost {
+            latency: 1.0,
+            peak_memory: 100.0,
+            launches: 9.0,
+        };
+        let b = Cost {
+            latency: 2.0,
+            peak_memory: 1.0,
+            launches: 1.0,
+        };
+        // Lexicographic: latency dominates regardless of the other fields.
+        assert!(a < b);
+        // Ties broken by memory, then launches.
+        let c = Cost {
+            latency: 1.0,
+            peak_memory: 50.0,
+            launches: 100.0,
+        };
+        assert!(c < a);
+        // NaN is ordered (above +inf), never equal to itself being a trap.
+        let nan = Cost {
+            latency: f64::NAN,
+            peak_memory: 0.0,
+            launches: 0.0,
+        };
+        assert_eq!(nan.partial_cmp(&Cost::INFINITE), Some(Ordering::Greater));
+        assert!(a < nan);
+        // Pareto dominance is distinct from the lexicographic order: `a`
+        // is lexicographically smaller than `b` but does not dominate it.
+        assert!(!a.dominates(&b));
+        assert!(Cost::ZERO.dominates(&a));
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    fn composite_cost_components_are_consistent() {
+        let cm = CostModel::default();
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let r = g.relu(m);
+        let expr = g.finish(&[r]);
+        let composite = cm.graph_cost_composite(&expr);
+        // Latency agrees with the scalar model.
+        assert_eq!(composite.latency, cm.graph_cost(&expr));
+        // Two non-free operators: matmul and relu.
+        assert_eq!(composite.launches, 2.0);
+        // Each materializes a [64, 256] fp32 output.
+        assert_eq!(composite.peak_memory, 2.0 * 64.0 * 256.0 * 4.0);
+    }
+
+    #[test]
+    fn tree_cost_charges_shared_subgraphs_per_use() {
+        let cm = CostModel::default();
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let s = g.ewadd(m, m);
+        let expr = g.finish(&[s]);
+
+        let dag = cm.dag_cost(&expr);
+        let tree = cm.tree_cost(&expr);
+        // The matmul is shared by both ewadd operands: tree pays it twice.
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let single = g.finish(&[m]);
+        let matmul_cost = cm.graph_cost(&single);
+        assert!((tree - dag - matmul_cost).abs() < 1e-9);
+
+        // On a sharing-free graph the two costs agree.
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", &[64, 256]);
+        let w = g.weight("w", &[256, 256]);
+        let m = g.matmul(x, w);
+        let r = g.relu(m);
+        let linear = g.finish(&[r]);
+        assert!((cm.tree_cost(&linear) - cm.dag_cost(&linear)).abs() < 1e-9);
     }
 }

@@ -33,7 +33,7 @@ pub mod symbolic;
 
 pub use analysis::{TensorAnalysis, TensorEGraph};
 pub use builder::{graph_stats, GraphBuilder, GraphStats};
-pub use cost::CostModel;
+pub use cost::{Cost, CostModel};
 pub use lang::{
     decode_identifier, decode_permutation, decode_shape, encode_identifier, encode_permutation,
     encode_shape, Activation, Padding, TensorLang,

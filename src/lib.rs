@@ -46,12 +46,14 @@ pub use tensat_verify as verify;
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use tensat_core::{
-        explore, extract_greedy, extract_ilp, CycleFilter, ExplorationConfig, ExtractionMode,
-        IlpConfig, OptimizationResult, Optimizer, OptimizerConfig,
+        explore, extract_greedy, extract_greedy_dag, extract_ilp, CycleFilter, ExplorationConfig,
+        ExtractionMode, ExtractionOutcome, ExtractionStrategy, GreedyDag, IlpConfig, IlpExtraction,
+        OptimizationResult, Optimizer, OptimizerConfig, TreeGreedy,
     };
     pub use tensat_egraph::{EGraph, Id, Pattern, RecExpr, Rewrite, Runner, Symbol};
     pub use tensat_ir::{
-        Activation, CostModel, GraphBuilder, Padding, TensorAnalysis, TensorEGraph, TensorLang,
+        Activation, Cost, CostModel, GraphBuilder, Padding, TensorAnalysis, TensorEGraph,
+        TensorLang,
     };
     pub use tensat_models::{build_benchmark, ModelScale, BENCHMARKS};
     pub use tensat_rules::{multi_rules, parse_pattern, single_rules, MultiPatternRule};

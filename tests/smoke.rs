@@ -53,6 +53,37 @@ fn every_benchmark_builds_infers_and_optimizes() {
 }
 
 #[test]
+fn every_benchmark_survives_greedy_dag_extraction() {
+    // Same canary as above, but through the DAG-aware greedy extractor: the
+    // result must never be worse than the original *or* than tree-greedy's
+    // honest DAG cost, on every model.
+    for &name in BENCHMARKS {
+        let graph = build_benchmark(name, ModelScale::tiny());
+        let greedy = Optimizer::new(smoke_config())
+            .optimize(&graph)
+            .unwrap_or_else(|e| panic!("{name}: greedy optimize failed: {e}"));
+        let dag = Optimizer::new(OptimizerConfig {
+            extraction: ExtractionMode::GreedyDag,
+            ..smoke_config()
+        })
+        .optimize(&graph)
+        .unwrap_or_else(|e| panic!("{name}: greedy-dag optimize failed: {e}"));
+        assert!(
+            dag.optimized_cost <= dag.original_cost + 1e-9,
+            "{name}: greedy-dag made the graph worse ({} -> {})",
+            dag.original_cost,
+            dag.optimized_cost
+        );
+        assert!(
+            dag.optimized_cost <= greedy.optimized_cost + 1e-9,
+            "{name}: greedy-dag ({}) lost to tree-greedy ({})",
+            dag.optimized_cost,
+            greedy.optimized_cost
+        );
+    }
+}
+
+#[test]
 fn facade_prelude_exposes_the_documented_surface() {
     // Compile-time check that the advertised prelude names resolve; a few
     // are also exercised so the test has observable behavior.
