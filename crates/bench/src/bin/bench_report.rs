@@ -23,12 +23,20 @@
 //! the DAG/tree cost of its result, so the greedy/ILP quality gap is
 //! tracked across PRs alongside the search numbers.
 //!
+//! A per-model `exploration` section additionally runs each exploration
+//! strategy (`saturate`, `guided`, `taso`) from a fresh seed and records
+//! its explore time, final e-node count, node budget, and greedy-DAG
+//! extracted cost — the guided strategy runs under a budget 4x below the
+//! saturated size, so the report tracks the budgeted-quality acceptance
+//! property (guided cost ≤ saturation's tree-greedy cost) across PRs.
+//!
 //! [`Pattern::search_naive`]: tensat_egraph::Pattern::search_naive
 
 use std::io::Write;
 use std::time::Instant;
 use tensat_core::{
-    explore, ExplorationConfig, ExtractionStrategy, GreedyDag, IlpExtraction, TreeGreedy,
+    explore, extract_greedy_dag, ExplorationConfig, ExplorationMode, ExtractionStrategy, GreedyDag,
+    IlpExtraction, TreeGreedy,
 };
 use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph};
 use tensat_models::{build_benchmark, ModelScale};
@@ -230,6 +238,92 @@ fn main() {
                 outcome.tree_cost,
                 if si + 1 < strategies.len() { "," } else { "" }
             ));
+        }
+        // Per-strategy exploration: each strategy grows a fresh seed of
+        // the same model. The saturate run goes deeper than the microbench
+        // growth above (more iterations) so the guided strategy's
+        // 4x-smaller node budget leaves real headroom over the seed; its
+        // final size defines that budget, so the strategies run in order.
+        let graph = build_benchmark(model, ModelScale::default());
+        let seed_nodes = {
+            let mut seed = TensorEGraph::new(TensorAnalysis);
+            seed.add_expr(&graph);
+            seed.rebuild();
+            seed.total_number_of_nodes()
+        };
+        let mut sat_nodes = seed_nodes;
+        let modes = [
+            ExplorationMode::Saturate,
+            ExplorationMode::Guided,
+            ExplorationMode::Taso,
+        ];
+        out.push_str("      },\n      \"exploration\": {\n");
+        for (ei, mode) in modes.iter().enumerate() {
+            let budget = match mode {
+                ExplorationMode::Guided => (sat_nodes / 4).max(seed_nodes),
+                _ => 20_000,
+            };
+            let mut xeg = TensorEGraph::new(TensorAnalysis);
+            let xroot = xeg.add_expr(&graph);
+            xeg.rebuild();
+            let stats = explore(
+                &mut xeg,
+                xroot,
+                &rules,
+                &[],
+                &ExplorationConfig {
+                    mode: *mode,
+                    max_iter: 8,
+                    node_limit: budget,
+                    search_threads: 1,
+                    // Keep the TASO baseline's sequential trajectory short:
+                    // this section tracks relative numbers per PR, not the
+                    // paper's full 100-iteration baseline run.
+                    taso: tensat_core::TasoConfig {
+                        iterations: 30,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let extracted = extract_greedy_dag(&xeg, xroot, &cost_model).unwrap_or_else(|e| {
+                panic!(
+                    "greedy-DAG extraction failed after {} on {model}: {e}",
+                    stats.strategy
+                )
+            });
+            eprintln!(
+                "[bench-report] {model}: {} explored in {:.3}s ({} e-nodes, budget {budget}, \
+                 DAG {:.2} µs)",
+                stats.strategy,
+                stats.time.as_secs_f64(),
+                stats.enodes,
+                extracted.dag_cost,
+            );
+            out.push_str(&format!(
+                "        \"{}\": {{ \"explore_time_s\": {:.4}, \"enodes\": {}, \"node_budget\": {}, \"dag_cost_us\": {:.3}",
+                stats.strategy,
+                stats.time.as_secs_f64(),
+                stats.enodes,
+                budget,
+                extracted.dag_cost,
+            ));
+            if matches!(mode, ExplorationMode::Saturate) {
+                sat_nodes = xeg.total_number_of_nodes();
+                // The budgeted-quality acceptance target: guided's DAG cost
+                // must not exceed tree-greedy extraction from saturation.
+                let tree = tensat_core::extract_greedy(&xeg, xroot, &cost_model)
+                    .unwrap_or_else(|e| panic!("tree-greedy failed on {model}: {e}"));
+                out.push_str(&format!(
+                    ", \"tree_greedy_dag_cost_us\": {:.3}",
+                    tree.dag_cost
+                ));
+            }
+            out.push_str(if ei + 1 < modes.len() {
+                " },\n"
+            } else {
+                " }\n"
+            });
         }
         out.push_str("      }\n    }");
         out.push_str(if mi + 1 < MODELS.len() { ",\n" } else { "\n" });

@@ -35,6 +35,9 @@ pub fn tensat_config(k_multi: usize) -> OptimizerConfig {
         cycle_filter: CycleFilter::Efficient,
         search_threads: tensat_core::default_search_threads(),
         extraction: ExtractionMode::Ilp,
+        exploration: tensat_core::ExplorationMode::Saturate,
+        guided: Default::default(),
+        taso: Default::default(),
         ilp_cycle_constraints: false,
         ilp_integer_topo_vars: false,
         ilp_time_limit: Duration::from_secs(30),

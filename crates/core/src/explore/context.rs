@@ -1,0 +1,546 @@
+//! The shared exploration engine: one [`ExplorationContext`] holds the
+//! compiled single- and multi-pattern rule programs, the deduplicated
+//! canonical multi sources with their guard tables, the cycle filter, and
+//! the run's budget clock. Every
+//! [`ExplorationStrategy`](super::ExplorationStrategy) drives the same
+//! search/apply machinery through it — [`Saturate`](super::Saturate) as
+//! whole iterations ([`ExplorationContext::run_iteration`]),
+//! [`Guided`](super::Guided) as per-rule budgeted batches on snapshot
+//! states.
+
+use super::{
+    canonicalize_pattern, compile_multi_guards, decanonicalize_subst, merge_substs,
+    substs_equal_canonical, CycleFilter, ExplorationConfig, ExplorationStats, MultiRuleCompiled,
+};
+use crate::cycles::{remove_all_cycles, would_create_cycle, DescendantsMap};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tensat_egraph::{
+    search_all_guarded_parallel, GuardedProgram, Id, Pattern, SearchMatches, SearchQuery, Subst,
+};
+use tensat_ir::{TensorData, TensorEGraph, TensorLang};
+use tensat_rules::{pattern_is_valid, MultiPatternRule, TensorRewrite};
+
+/// Everything a strategy needs to explore: the root, the rules with their
+/// compiled programs and guard tables, the configuration, and the budget
+/// clock (started when the context is built, i.e. when exploration
+/// begins).
+pub struct ExplorationContext<'a> {
+    root: Id,
+    single_rules: &'a [TensorRewrite],
+    config: &'a ExplorationConfig,
+    /// Multi rules with sources resolved into `unique_patterns`.
+    compiled: Vec<MultiRuleCompiled>,
+    /// Deduplicated canonical multi-pattern sources (Algorithm 1, lines
+    /// 1–8), precompiled.
+    unique_patterns: Vec<Pattern<TensorLang>>,
+    /// One guarded program per unique canonical source.
+    multi_guarded: Vec<GuardedProgram<TensorLang, TensorData>>,
+    start: Instant,
+}
+
+impl<'a> ExplorationContext<'a> {
+    /// Compiles the rule programs: canonicalizes and deduplicates the
+    /// multi-pattern sources, builds their guarded programs, and starts
+    /// the budget clock.
+    pub(crate) fn new(
+        root: Id,
+        single_rules: &'a [TensorRewrite],
+        multi_rules: &[MultiPatternRule],
+        config: &'a ExplorationConfig,
+    ) -> Self {
+        let start = Instant::now();
+        let mut unique_patterns: Vec<Pattern<TensorLang>> = vec![];
+        let mut pattern_index: HashMap<String, usize> = HashMap::new();
+        let compiled: Vec<MultiRuleCompiled> = multi_rules
+            .iter()
+            .map(|rule| {
+                let srcs = rule
+                    .srcs
+                    .iter()
+                    .map(|src| {
+                        let (canon, back) = canonicalize_pattern(src);
+                        let key = canon.to_string();
+                        let idx = *pattern_index.entry(key).or_insert_with(|| {
+                            unique_patterns.push(canon.clone());
+                            unique_patterns.len() - 1
+                        });
+                        (idx, back)
+                    })
+                    .collect();
+                MultiRuleCompiled {
+                    rule: rule.clone(),
+                    srcs,
+                }
+            })
+            .collect();
+        // The deduplicated canonical sources are searched once per
+        // iteration: compile their e-matching programs — both the guarded
+        // ones (with the rules' target-implied analysis guards pushed into
+        // the machine) and the plain ones (used for the final multi
+        // iteration, see `run_iteration`) — before any strategy starts.
+        let multi_guarded = compile_multi_guards(&unique_patterns, &compiled);
+        for pattern in &unique_patterns {
+            pattern.precompile();
+        }
+        ExplorationContext {
+            root,
+            single_rules,
+            config,
+            compiled,
+            unique_patterns,
+            multi_guarded,
+            start,
+        }
+    }
+
+    /// The root e-class exploration optimizes for.
+    pub fn root(&self) -> Id {
+        self.root
+    }
+
+    /// The exploration configuration.
+    pub fn config(&self) -> &ExplorationConfig {
+        self.config
+    }
+
+    /// The single-pattern rule set.
+    pub fn single_rules(&self) -> &[TensorRewrite] {
+        self.single_rules
+    }
+
+    /// Number of multi-pattern rules (indexable by
+    /// [`ExplorationContext::apply_multi_budgeted`]).
+    pub fn multi_rule_count(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Wall-clock time since exploration began.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// True once the time or node budget is exhausted for this e-graph —
+    /// the iteration-boundary check of Algorithm 1.
+    pub fn over_budget(&self, egraph: &TensorEGraph) -> bool {
+        self.elapsed() >= self.config.time_limit
+            || egraph.total_number_of_nodes() >= self.config.node_limit
+    }
+
+    /// Fills in the final-state fields of `stats` (e-node/e-class counts
+    /// and total time). Strategies call this once before returning.
+    pub fn finish(&self, egraph: &TensorEGraph, stats: &mut ExplorationStats) {
+        stats.enodes = egraph.total_number_of_nodes();
+        stats.eclasses = egraph.number_of_classes();
+        stats.time = self.elapsed();
+    }
+
+    /// One full engine iteration — Algorithm 1's loop body: batched
+    /// guarded search of every rule against the iteration-start e-graph,
+    /// apply all single-pattern matches, apply multi-pattern combinations
+    /// (first `k_multi` iterations only), rebuild, and resolve cycles.
+    /// Updates `stats` and returns whether the e-graph changed (`false`
+    /// means saturation).
+    pub fn run_iteration(
+        &self,
+        egraph: &mut TensorEGraph,
+        iter: usize,
+        stats: &mut ExplorationStats,
+    ) -> bool {
+        let config = self.config;
+        let nodes_before = egraph.total_number_of_nodes();
+        let unions_before = egraph.union_count();
+
+        // Descendants map for the efficient pre-filter (Algorithm 2, line 3).
+        let mut desc = match config.cycle_filter {
+            CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
+            _ => None,
+        };
+
+        // --- search phase ---------------------------------------------------
+        // All matches — single-pattern and multi-pattern alike — are
+        // collected against the iteration-start e-graph, which is clean
+        // (rebuilt at the end of the previous iteration): pattern search
+        // requires a clean e-graph for the operator index and congruence
+        // invariant to hold. This mirrors Algorithm 1, which gathers every
+        // match before applying any substitution.
+        //
+        // Every searcher (single-pattern rules and the deduplicated
+        // canonical multi-pattern sources) goes through one batch of the
+        // sharded search driver, so a hot rule's candidate chunks spread
+        // over all `search_threads` threads; with 1 thread the driver is
+        // the sequential machine verbatim, and the match lists are
+        // bit-identical either way. Each query carries its analysis-guard
+        // table (single rules: the per-variable part of their shape check;
+        // multi sources: the intersected target-implied constraints), so
+        // inadmissible bindings die inside the machine.
+        let do_multi = iter < config.k_multi;
+        let mut queries: Vec<SearchQuery<'_, TensorLang, TensorData>> = self
+            .single_rules
+            .iter()
+            .map(|rw| rw.searcher_query())
+            .collect();
+        if do_multi {
+            // Guards evaluate at search time while `apply_combo` validates
+            // at apply time, and unions performed earlier in the same
+            // iteration (single-pattern applications run first) can make a
+            // binding admissible in between. Within the multi-pattern
+            // window a pruned-then-admissible match is simply re-found
+            // next iteration; in the *last* multi iteration there is no
+            // next chance — multi rules are disabled afterwards — so that
+            // final search runs unguarded and leaves admissibility
+            // entirely to the apply-time check, exactly the pre-guard
+            // behavior. (Single-pattern rules need no such cutoff: they
+            // are searched every iteration, and the saturation check only
+            // declares a fixpoint when an iteration changed nothing at
+            // all.)
+            if iter + 1 == config.k_multi {
+                queries.extend(
+                    self.unique_patterns
+                        .iter()
+                        .map(|p| (p.program(), &[] as &[_])),
+                );
+            } else {
+                queries.extend(self.multi_guarded.iter().map(|g| g.query()));
+            }
+        }
+        let mut single_matches =
+            search_all_guarded_parallel(&queries, egraph, config.search_threads);
+        let multi_matches: Vec<_> = if do_multi {
+            single_matches.split_off(self.single_rules.len())
+        } else {
+            vec![]
+        };
+
+        // --- apply single-pattern rules --------------------------------------
+        'single_apply: for (rw, matches) in self.single_rules.iter().zip(&single_matches) {
+            for m in matches {
+                for subst in &m.substs {
+                    // Both limits bound the *apply* loop, not just the
+                    // iteration boundary: a large match batch used to blow
+                    // straight through the wall-clock budget because only
+                    // `node_limit` was checked here (the multi-pattern
+                    // apply below always checked both).
+                    if egraph.total_number_of_nodes() >= config.node_limit
+                        || self.elapsed() >= config.time_limit
+                    {
+                        break 'single_apply;
+                    }
+                    if let Some(cond) = &rw.condition {
+                        if !cond(egraph, m.eclass, subst) {
+                            continue;
+                        }
+                    }
+                    if skip_for_cycles(
+                        egraph,
+                        config.cycle_filter,
+                        &mut desc,
+                        m.eclass,
+                        &rw.applier,
+                        subst,
+                    ) {
+                        continue;
+                    }
+                    rw.applier.apply_one(egraph, m.eclass, subst);
+                }
+            }
+        }
+
+        // --- apply multi-pattern rules (first k_multi iterations only) ------
+        if iter < config.k_multi {
+            for mrule in &self.compiled {
+                apply_multi_rule(egraph, mrule, &multi_matches, config, &mut desc, self.start);
+                if egraph.total_number_of_nodes() >= config.node_limit
+                    || self.elapsed() >= config.time_limit
+                {
+                    break;
+                }
+            }
+        }
+
+        egraph.rebuild();
+
+        // Post-processing: resolve cycles that slipped past the pre-filter
+        // (Algorithm 2, lines 10–18).
+        if config.cycle_filter == CycleFilter::Efficient {
+            stats.filtered_nodes += remove_all_cycles(egraph, self.root);
+        }
+
+        stats.iterations = iter + 1;
+        stats
+            .nodes_per_iteration
+            .push(egraph.total_number_of_nodes());
+
+        egraph.total_number_of_nodes() != nodes_before || egraph.union_count() != unions_before
+    }
+
+    /// Batched guarded search of every single-pattern rule — and, when
+    /// `include_multi`, every deduplicated canonical multi-pattern source
+    /// — against a candidate state. Returns `(single, multi)` match lists
+    /// in rule/source order; match lists are bit-identical across thread
+    /// counts, so guided strategies stay deterministic.
+    ///
+    /// Unlike [`ExplorationContext::run_iteration`], the multi sources are
+    /// always searched guarded: a guided strategy validates combinations
+    /// at apply time anyway, and a pruned-then-admissible binding merely
+    /// means that action scores lower in this step.
+    pub fn search_state(
+        &self,
+        egraph: &TensorEGraph,
+        include_multi: bool,
+    ) -> (Vec<Vec<SearchMatches>>, Vec<Vec<SearchMatches>>) {
+        let mut queries: Vec<SearchQuery<'_, TensorLang, TensorData>> = self
+            .single_rules
+            .iter()
+            .map(|rw| rw.searcher_query())
+            .collect();
+        if include_multi {
+            queries.extend(self.multi_guarded.iter().map(|g| g.query()));
+        }
+        let mut single = search_all_guarded_parallel(&queries, egraph, self.config.search_threads);
+        let multi = if include_multi {
+            single.split_off(self.single_rules.len())
+        } else {
+            vec![]
+        };
+        (single, multi)
+    }
+
+    /// Applies one single-pattern rule's match batch to a candidate state
+    /// under a *hard* node budget: an application is attempted only while
+    /// the e-graph plus the applier's worst-case growth (its AST size)
+    /// stays within `budget`, so the state never exceeds it. Rebuilds and
+    /// cycle-filters afterwards, leaving the state clean for scoring.
+    pub fn apply_single_budgeted(
+        &self,
+        egraph: &mut TensorEGraph,
+        rule_index: usize,
+        matches: &[SearchMatches],
+        budget: usize,
+    ) {
+        let rw = &self.single_rules[rule_index];
+        // Worst-case e-nodes one application can add: every pattern node
+        // is new. (Variables instantiate to existing classes, so this
+        // over-estimates — which only makes the budget check stricter.)
+        let headroom = rw.applier.ast.len();
+        let mut desc = match self.config.cycle_filter {
+            CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
+            _ => None,
+        };
+        'apply: for m in matches {
+            for subst in &m.substs {
+                if egraph.total_number_of_nodes() + headroom > budget
+                    || self.elapsed() >= self.config.time_limit
+                {
+                    break 'apply;
+                }
+                if let Some(cond) = &rw.condition {
+                    if !cond(egraph, m.eclass, subst) {
+                        continue;
+                    }
+                }
+                if skip_for_cycles(
+                    egraph,
+                    self.config.cycle_filter,
+                    &mut desc,
+                    m.eclass,
+                    &rw.applier,
+                    subst,
+                ) {
+                    continue;
+                }
+                rw.applier.apply_one(egraph, m.eclass, subst);
+            }
+        }
+        self.seal_state(egraph);
+    }
+
+    /// Applies one multi-pattern rule's Cartesian combinations to a
+    /// candidate state under a hard node budget (same contract as
+    /// [`ExplorationContext::apply_single_budgeted`]): the entry check of
+    /// the Cartesian recursion runs against a node limit lowered by the
+    /// rule's total target size, so no application can push the state past
+    /// `budget`. `multi_matches` is indexed by unique canonical source, as
+    /// returned by [`ExplorationContext::search_state`].
+    pub fn apply_multi_budgeted(
+        &self,
+        egraph: &mut TensorEGraph,
+        rule_index: usize,
+        multi_matches: &[Vec<SearchMatches>],
+        budget: usize,
+    ) {
+        let mrule = &self.compiled[rule_index];
+        let headroom: usize = mrule.rule.dsts.iter().map(|d| d.ast.len()).sum();
+        if headroom > budget {
+            return;
+        }
+        // `cartesian` refuses to apply once `nodes >= node_limit`, so with
+        // `node_limit = budget - headroom + 1` every application starts at
+        // `nodes <= budget - headroom` and ends at most at `budget`.
+        let capped = ExplorationConfig {
+            node_limit: budget - headroom + 1,
+            ..self.config.clone()
+        };
+        let mut desc = match self.config.cycle_filter {
+            CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
+            _ => None,
+        };
+        apply_multi_rule(egraph, mrule, multi_matches, &capped, &mut desc, self.start);
+        self.seal_state(egraph);
+    }
+
+    /// Rebuilds a candidate state and resolves cycles, restoring the
+    /// invariants scoring and the next search step rely on.
+    fn seal_state(&self, egraph: &mut TensorEGraph) {
+        egraph.rebuild();
+        if self.config.cycle_filter == CycleFilter::Efficient {
+            remove_all_cycles(egraph, self.root);
+        }
+    }
+}
+
+/// Returns true if the candidate application must be skipped because it
+/// would create a cycle under the configured filtering mode.
+fn skip_for_cycles(
+    egraph: &TensorEGraph,
+    filter: CycleFilter,
+    desc: &mut Option<DescendantsMap>,
+    matched: Id,
+    target: &Pattern<TensorLang>,
+    subst: &Subst,
+) -> bool {
+    match filter {
+        CycleFilter::Off => false,
+        CycleFilter::Efficient => {
+            let desc = desc
+                .as_ref()
+                .expect("descendants map exists in efficient mode");
+            would_create_cycle(egraph, desc, matched, target, subst)
+        }
+        CycleFilter::Vanilla => {
+            // Vanilla filtering recomputes reachability for every candidate:
+            // a full pass over the e-graph per check (paper §5.2).
+            let fresh = DescendantsMap::compute(egraph);
+            would_create_cycle(egraph, &fresh, matched, target, subst)
+        }
+    }
+}
+
+fn apply_multi_rule(
+    egraph: &mut TensorEGraph,
+    mrule: &MultiRuleCompiled,
+    all_matches: &[Vec<SearchMatches>],
+    config: &ExplorationConfig,
+    desc: &mut Option<DescendantsMap>,
+    start: Instant,
+) {
+    // Decanonicalized flat match lists per source pattern.
+    let per_src: Vec<Vec<(Id, Subst)>> = mrule
+        .srcs
+        .iter()
+        .map(|(idx, back)| {
+            all_matches[*idx]
+                .iter()
+                .flat_map(|m| {
+                    m.substs
+                        .iter()
+                        .map(move |s| (m.eclass, decanonicalize_subst(s, back)))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Cartesian product over the source patterns (Algorithm 1, line 16).
+    // All current rules have exactly two sources; the generic recursion
+    // handles more.
+    let mut combo: Vec<(Id, Subst)> = Vec::with_capacity(per_src.len());
+    cartesian(egraph, mrule, &per_src, 0, &mut combo, config, desc, start);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cartesian(
+    egraph: &mut TensorEGraph,
+    mrule: &MultiRuleCompiled,
+    per_src: &[Vec<(Id, Subst)>],
+    depth: usize,
+    combo: &mut Vec<(Id, Subst)>,
+    config: &ExplorationConfig,
+    desc: &mut Option<DescendantsMap>,
+    start: Instant,
+) {
+    if egraph.total_number_of_nodes() >= config.node_limit || start.elapsed() >= config.time_limit {
+        return;
+    }
+    if depth == per_src.len() {
+        apply_combo(egraph, mrule, combo, config, desc);
+        return;
+    }
+    for (eclass, subst) in &per_src[depth] {
+        if mrule.rule.skip_identical
+            && combo.iter().any(|(c, s)| {
+                egraph.find(*c) == egraph.find(*eclass) && substs_equal_canonical(egraph, s, subst)
+            })
+        {
+            continue;
+        }
+        combo.push((*eclass, subst.clone()));
+        cartesian(
+            egraph,
+            mrule,
+            per_src,
+            depth + 1,
+            combo,
+            config,
+            desc,
+            start,
+        );
+        combo.pop();
+        if egraph.total_number_of_nodes() >= config.node_limit {
+            return;
+        }
+    }
+}
+
+fn apply_combo(
+    egraph: &mut TensorEGraph,
+    mrule: &MultiRuleCompiled,
+    combo: &[(Id, Subst)],
+    config: &ExplorationConfig,
+    desc: &mut Option<DescendantsMap>,
+) {
+    // Check compatibility at shared variables and build the merged binding.
+    let mut merged = Subst::new();
+    for (_, subst) in combo {
+        match merge_substs(egraph, &merged, subst) {
+            Some(m) => merged = m,
+            None => return,
+        }
+    }
+    // Shape check every target, and make sure output shapes match the
+    // matched classes.
+    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+        if !pattern_is_valid(egraph, dst, &merged) {
+            return;
+        }
+        let target_data = tensat_rules::pattern_data(egraph, dst, &merged);
+        let out_shape = target_data
+            .last()
+            .and_then(|d| d.shape().map(|s| s.to_vec()));
+        let class_shape = egraph.eclass(*matched).data.shape().map(|s| s.to_vec());
+        if let (Some(a), Some(b)) = (class_shape, out_shape) {
+            if a != b {
+                return;
+            }
+        }
+    }
+    // Cycle pre-filtering per target.
+    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+        if skip_for_cycles(egraph, config.cycle_filter, desc, *matched, dst, &merged) {
+            return;
+        }
+    }
+    // Apply: union each matched class with its instantiated target.
+    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+        dst.apply_one(egraph, *matched, &merged);
+    }
+}

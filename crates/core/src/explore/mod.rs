@@ -1,16 +1,61 @@
-//! The exploration phase (paper §4): grow the e-graph by applying all
-//! single-pattern and multi-pattern rewrites, with optional cycle
-//! filtering, until saturation or a limit is reached.
+//! The exploration phase (paper §4) behind one seam: an
+//! [`ExplorationStrategy`] trait over a shared [`ExplorationContext`]
+//! holding the compiled single/multi rule programs, guard tables, cycle
+//! filter, and budget accounting — exactly parallel to the extraction
+//! crate's [`ExtractionStrategy`](crate::ExtractionStrategy) seam.
+//!
+//! Three strategies ship through the seam:
+//!
+//! * [`Saturate`] — Algorithm 1's saturate-all loop, bit-identical to the
+//!   pre-seam monolithic `explore()` (kept verbatim in [`legacy`] as the
+//!   differential oracle).
+//! * [`Guided`] — a deterministic beam search (MCTS-lite) treating rule
+//!   batches as actions, scoring candidate e-graph states by greedy-DAG
+//!   extracted cost plus a node-growth penalty, and expanding only the
+//!   top-k states via e-graph snapshot/replay. It enforces a *hard* node
+//!   budget, so graphs whose saturation blows past `node_limit` stay
+//!   optimizable with bounded memory.
+//! * [`TasoBacktracking`] — the TASO-style sequential backtracking
+//!   baseline (`tensat-taso`) run through the same seam, unioning its best
+//!   trajectory graph back into the e-graph.
+//!
+//! [`explore`] dispatches on [`ExplorationConfig::mode`]
+//! ([`ExplorationMode`]), overridable at runtime via the `TENSAT_EXPLORER`
+//! environment variable (mirroring `TENSAT_EXTRACTOR`).
 
-use crate::cycles::{remove_all_cycles, would_create_cycle, DescendantsMap};
+mod context;
+mod guided;
+pub mod legacy;
+mod saturate;
+mod taso;
+
+pub use context::ExplorationContext;
+pub use guided::{Guided, GuidedConfig};
+pub use saturate::Saturate;
+pub use taso::{TasoBacktracking, TasoConfig};
+
 use std::collections::{BTreeSet, HashMap};
-use std::time::{Duration, Instant};
-use tensat_egraph::{
-    search_all_guarded_parallel, search_threads_from_env, ENodeOrVar, GuardedProgram, Id, Pattern,
-    RecExpr, SearchQuery, Subst, Var,
-};
-use tensat_ir::{DataKind, TensorData, TensorEGraph, TensorLang};
-use tensat_rules::{guard_for_kinds, pattern_is_valid, MultiPatternRule, TensorRewrite};
+use std::time::Duration;
+use tensat_egraph::{ENodeOrVar, GuardedProgram, Id, Pattern, RecExpr, Subst, Var};
+use tensat_ir::{CostModel, DataKind, TensorData, TensorEGraph, TensorLang};
+use tensat_rules::{guard_for_kinds, MultiPatternRule, TensorRewrite};
+
+/// The paper's exploration defaults (§6.1): the single source of truth
+/// shared by [`ExplorationConfig::default`] and
+/// [`OptimizerConfig::default`](crate::OptimizerConfig::default), so the
+/// two configurations cannot silently drift.
+pub mod defaults {
+    use std::time::Duration;
+
+    /// Iterations in which multi-pattern rules are applied (`k_multi`).
+    pub const K_MULTI: usize = 1;
+    /// Total iteration limit (`k_max`).
+    pub const MAX_ITER: usize = 15;
+    /// E-node limit (`N_max`).
+    pub const NODE_LIMIT: usize = 50_000;
+    /// Wall-clock limit for the whole exploration phase.
+    pub const TIME_LIMIT: Duration = Duration::from_secs(60);
+}
 
 /// Which cycle-filtering algorithm to run during exploration (paper §5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +73,63 @@ pub enum CycleFilter {
     Efficient,
 }
 
+/// Which exploration strategy grows the e-graph — the exploration
+/// counterpart of [`ExtractionMode`](crate::ExtractionMode), overridable
+/// at runtime via the `TENSAT_EXPLORER` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplorationMode {
+    /// The saturate-all loop (Algorithm 1): apply every rule everywhere,
+    /// every iteration. TENSAT's default configuration.
+    Saturate,
+    /// Guided beam search over rule-batch actions under a hard node
+    /// budget, scored by greedy-DAG extracted cost (see [`Guided`]).
+    Guided,
+    /// The TASO-style sequential backtracking baseline (see
+    /// [`TasoBacktracking`]).
+    Taso,
+}
+
+impl ExplorationMode {
+    /// Parses a strategy name as accepted by the `TENSAT_EXPLORER`
+    /// environment variable: `saturate` / `saturation` / `full`,
+    /// `guided` / `beam` / `mcts`, or `taso` / `backtracking`
+    /// (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ExplorationMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "saturate" | "saturation" | "full" => Some(ExplorationMode::Saturate),
+            "guided" | "beam" | "mcts" => Some(ExplorationMode::Guided),
+            "taso" | "backtracking" => Some(ExplorationMode::Taso),
+            _ => None,
+        }
+    }
+
+    /// The exploration mode requested via the `TENSAT_EXPLORER`
+    /// environment variable, if set to a recognized name. Read uncached
+    /// (like `TENSAT_EXTRACTOR` and `TENSAT_SEARCH_THREADS`) so tests and
+    /// harnesses can vary it per run.
+    pub fn from_env() -> Option<ExplorationMode> {
+        tensat_egraph::explorer_from_env().and_then(|v| ExplorationMode::from_name(&v))
+    }
+
+    /// The strategy name this mode resolves to at the exploration seam.
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            ExplorationMode::Saturate => "saturate",
+            ExplorationMode::Guided => "guided",
+            ExplorationMode::Taso => "taso",
+        }
+    }
+
+    /// The boxed strategy this mode dispatches to.
+    pub fn strategy(&self) -> Box<dyn ExplorationStrategy> {
+        match self {
+            ExplorationMode::Saturate => Box::new(Saturate),
+            ExplorationMode::Guided => Box::new(Guided),
+            ExplorationMode::Taso => Box::new(TasoBacktracking),
+        }
+    }
+}
+
 /// Limits and options for the exploration phase.
 #[derive(Debug, Clone)]
 pub struct ExplorationConfig {
@@ -35,7 +137,10 @@ pub struct ExplorationConfig {
     pub k_multi: usize,
     /// Total iteration limit (`k_max`).
     pub max_iter: usize,
-    /// E-node limit (`N_max`).
+    /// E-node limit (`N_max`). [`Saturate`] treats it as a soft
+    /// stop-growing threshold (one batch may overshoot slightly);
+    /// [`Guided`] enforces it as a hard budget no candidate state ever
+    /// exceeds.
     pub node_limit: usize,
     /// Wall-clock limit for the whole exploration phase.
     pub time_limit: Duration,
@@ -46,19 +151,37 @@ pub struct ExplorationConfig {
     /// classes across scoped threads with bit-identical match lists, so
     /// this only affects wall-clock time.
     pub search_threads: usize,
+    /// Which exploration strategy [`explore`] dispatches to.
+    pub mode: ExplorationMode,
+    /// Cost model used by strategies that score candidate states
+    /// ([`Guided`]'s rollout evaluator, [`TasoBacktracking`]'s search);
+    /// [`Saturate`] never consults it.
+    pub cost_model: CostModel,
+    /// Parameters of the [`Guided`] strategy (used when `mode` is
+    /// [`ExplorationMode::Guided`]).
+    pub guided: GuidedConfig,
+    /// Parameters of the [`TasoBacktracking`] baseline (used when `mode`
+    /// is [`ExplorationMode::Taso`]).
+    pub taso: TasoConfig,
 }
 
 impl Default for ExplorationConfig {
-    /// The paper's defaults: `k_multi = 1`, `k_max = 15`, `N_max = 50 000`,
-    /// plus search parallelism from [`default_search_threads`].
+    /// The paper's defaults ([`defaults`]): `k_multi = 1`, `k_max = 15`,
+    /// `N_max = 50 000`, saturate-all exploration (unless a
+    /// `TENSAT_EXPLORER` override is set), plus search parallelism from
+    /// [`default_search_threads`].
     fn default() -> Self {
         ExplorationConfig {
-            k_multi: 1,
-            max_iter: 15,
-            node_limit: 50_000,
-            time_limit: Duration::from_secs(60),
+            k_multi: defaults::K_MULTI,
+            max_iter: defaults::MAX_ITER,
+            node_limit: defaults::NODE_LIMIT,
+            time_limit: defaults::TIME_LIMIT,
             cycle_filter: CycleFilter::Efficient,
             search_threads: default_search_threads(),
+            mode: ExplorationMode::from_env().unwrap_or(ExplorationMode::Saturate),
+            cost_model: CostModel::default(),
+            guided: GuidedConfig::default(),
+            taso: TasoConfig::default(),
         }
     }
 }
@@ -67,16 +190,18 @@ impl Default for ExplorationConfig {
 /// variable when set to a positive integer, otherwise the machine's
 /// available parallelism (falling back to 1 if that cannot be determined).
 pub fn default_search_threads() -> usize {
-    search_threads_from_env()
+    tensat_egraph::search_threads_from_env()
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Statistics of one exploration run.
 #[derive(Debug, Clone, Default)]
 pub struct ExplorationStats {
-    /// Number of iterations executed.
+    /// Number of iterations executed ([`Guided`]: beam steps;
+    /// [`TasoBacktracking`]: graphs popped from the search queue).
     pub iterations: usize,
-    /// Whether the run stopped because the e-graph saturated.
+    /// Whether the run stopped because no action changed the e-graph
+    /// (saturation for [`Saturate`]; beam convergence for [`Guided`]).
     pub saturated: bool,
     /// Final number of e-nodes.
     pub enodes: usize,
@@ -88,6 +213,63 @@ pub struct ExplorationStats {
     pub time: Duration,
     /// E-node count after each iteration.
     pub nodes_per_iteration: Vec<usize>,
+    /// Name of the strategy that produced these statistics (filled in by
+    /// [`explore_with`]; empty for stats built elsewhere).
+    pub strategy: &'static str,
+}
+
+/// The single exploration seam: every strategy grows an e-graph in place
+/// from the compiled rule programs, guard tables, and budgets in a shared
+/// [`ExplorationContext`], and reports [`ExplorationStats`] — so the
+/// optimizer, the benches, and future strategies (e.g. learned policies)
+/// all drive exploration the same way.
+pub trait ExplorationStrategy: std::fmt::Debug {
+    /// Short stable name used in reports and the `TENSAT_EXPLORER`
+    /// environment override.
+    fn name(&self) -> &'static str;
+
+    /// Grows the e-graph in place under the context's rules and budgets,
+    /// returning run statistics.
+    fn run(&self, egraph: &mut TensorEGraph, ctx: &ExplorationContext<'_>) -> ExplorationStats;
+}
+
+/// Runs the exploration phase on an e-graph already seeded with the input
+/// graph, dispatching to the strategy selected by
+/// [`ExplorationConfig::mode`]. Returns statistics; the e-graph is grown
+/// in place.
+pub fn explore(
+    egraph: &mut TensorEGraph,
+    root: Id,
+    single_rules: &[TensorRewrite],
+    multi_rules: &[MultiPatternRule],
+    config: &ExplorationConfig,
+) -> ExplorationStats {
+    explore_with(
+        config.mode.strategy().as_ref(),
+        egraph,
+        root,
+        single_rules,
+        multi_rules,
+        config,
+    )
+}
+
+/// Runs the exploration phase with an explicit strategy: compiles the rule
+/// programs into an [`ExplorationContext`] and hands the e-graph to the
+/// strategy. [`explore`] is this with the strategy picked by
+/// [`ExplorationConfig::mode`].
+pub fn explore_with(
+    strategy: &dyn ExplorationStrategy,
+    egraph: &mut TensorEGraph,
+    root: Id,
+    single_rules: &[TensorRewrite],
+    multi_rules: &[MultiPatternRule],
+    config: &ExplorationConfig,
+) -> ExplorationStats {
+    let ctx = ExplorationContext::new(root, single_rules, multi_rules, config);
+    let mut stats = strategy.run(egraph, &ctx);
+    stats.strategy = strategy.name();
+    stats
 }
 
 /// Renames the variables of a pattern to canonical names (`?c0`, `?c1`, ...)
@@ -150,18 +332,20 @@ pub fn merge_substs(egraph: &TensorEGraph, a: &Subst, b: &Subst) -> Option<Subst
 /// by an earlier application can leave two equivalent bindings with
 /// different (non-canonical) ids, letting them slip past the
 /// `skip_identical` self-application guard.
-fn substs_equal_canonical(egraph: &TensorEGraph, a: &Subst, b: &Subst) -> bool {
+pub(crate) fn substs_equal_canonical(egraph: &TensorEGraph, a: &Subst, b: &Subst) -> bool {
     a.len() == b.len()
         && a.iter().all(
             |(var, id)| matches!(b.get(var), Some(other) if egraph.find(other) == egraph.find(id)),
         )
 }
 
-struct MultiRuleCompiled {
-    rule: MultiPatternRule,
+/// A multi-pattern rule with its sources resolved into the deduplicated
+/// canonical pattern list the engine searches once per iteration.
+pub(crate) struct MultiRuleCompiled {
+    pub(crate) rule: MultiPatternRule,
     /// For each source pattern: index into the unique canonical pattern
     /// list and the canonical→original variable map.
-    srcs: Vec<(usize, HashMap<Var, Var>)>,
+    pub(crate) srcs: Vec<(usize, HashMap<Var, Var>)>,
 }
 
 /// Builds one guarded e-matching program per unique canonical multi-pattern
@@ -177,7 +361,7 @@ struct MultiRuleCompiled {
 /// floor, is always required). A match pruned by such a guard binds, for
 /// every referrer, a variable whose target inference is guaranteed invalid,
 /// so no Cartesian combination containing it could ever fire.
-fn compile_multi_guards(
+pub(crate) fn compile_multi_guards(
     unique_patterns: &[Pattern<TensorLang>],
     compiled: &[MultiRuleCompiled],
 ) -> Vec<GuardedProgram<TensorLang, TensorData>> {
@@ -225,337 +409,6 @@ fn compile_multi_guards(
             GuardedProgram::compile(&pattern.ast, &guards)
         })
         .collect()
-}
-
-/// Runs the exploration phase on an e-graph already seeded with the input
-/// graph. Returns statistics; the e-graph is grown in place.
-pub fn explore(
-    egraph: &mut TensorEGraph,
-    root: Id,
-    single_rules: &[TensorRewrite],
-    multi_rules: &[MultiPatternRule],
-    config: &ExplorationConfig,
-) -> ExplorationStats {
-    let start = Instant::now();
-    let mut stats = ExplorationStats::default();
-    egraph.rebuild();
-
-    // Canonicalize multi-pattern sources and deduplicate them (Algorithm 1,
-    // lines 1–8).
-    let mut unique_patterns: Vec<Pattern<TensorLang>> = vec![];
-    let mut pattern_index: HashMap<String, usize> = HashMap::new();
-    let compiled: Vec<MultiRuleCompiled> = multi_rules
-        .iter()
-        .map(|rule| {
-            let srcs = rule
-                .srcs
-                .iter()
-                .map(|src| {
-                    let (canon, back) = canonicalize_pattern(src);
-                    let key = canon.to_string();
-                    let idx = *pattern_index.entry(key).or_insert_with(|| {
-                        unique_patterns.push(canon.clone());
-                        unique_patterns.len() - 1
-                    });
-                    (idx, back)
-                })
-                .collect();
-            MultiRuleCompiled {
-                rule: rule.clone(),
-                srcs,
-            }
-        })
-        .collect();
-    // The deduplicated canonical sources are searched once per iteration:
-    // compile their e-matching programs — both the guarded ones (with the
-    // rules' target-implied analysis guards pushed into the machine) and
-    // the plain ones (used for the final multi iteration, see below) —
-    // before the loop starts.
-    let multi_guarded = compile_multi_guards(&unique_patterns, &compiled);
-    for pattern in &unique_patterns {
-        pattern.precompile();
-    }
-
-    for iter in 0..config.max_iter {
-        if start.elapsed() >= config.time_limit
-            || egraph.total_number_of_nodes() >= config.node_limit
-        {
-            break;
-        }
-        let nodes_before = egraph.total_number_of_nodes();
-        let unions_before = egraph.union_count();
-
-        // Descendants map for the efficient pre-filter (Algorithm 2, line 3).
-        let mut desc = match config.cycle_filter {
-            CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
-            _ => None,
-        };
-
-        // --- search phase ---------------------------------------------------
-        // All matches — single-pattern and multi-pattern alike — are
-        // collected against the iteration-start e-graph, which is clean
-        // (rebuilt at the end of the previous iteration): pattern search
-        // requires a clean e-graph for the operator index and congruence
-        // invariant to hold. This mirrors Algorithm 1, which gathers every
-        // match before applying any substitution.
-        //
-        // Every searcher (single-pattern rules and the deduplicated
-        // canonical multi-pattern sources) goes through one batch of the
-        // sharded search driver, so a hot rule's candidate chunks spread
-        // over all `search_threads` threads; with 1 thread the driver is
-        // the sequential machine verbatim, and the match lists are
-        // bit-identical either way. Each query carries its analysis-guard
-        // table (single rules: the per-variable part of their shape check;
-        // multi sources: the intersected target-implied constraints), so
-        // inadmissible bindings die inside the machine.
-        let do_multi = iter < config.k_multi;
-        let mut queries: Vec<SearchQuery<'_, TensorLang, TensorData>> =
-            single_rules.iter().map(|rw| rw.searcher_query()).collect();
-        if do_multi {
-            // Guards evaluate at search time while `apply_combo` validates
-            // at apply time, and unions performed earlier in the same
-            // iteration (single-pattern applications run first) can make a
-            // binding admissible in between. Within the multi-pattern
-            // window a pruned-then-admissible match is simply re-found
-            // next iteration; in the *last* multi iteration there is no
-            // next chance — multi rules are disabled afterwards — so that
-            // final search runs unguarded and leaves admissibility
-            // entirely to the apply-time check, exactly the pre-guard
-            // behavior. (Single-pattern rules need no such cutoff: they
-            // are searched every iteration, and the saturation check only
-            // declares a fixpoint when an iteration changed nothing at
-            // all.)
-            if iter + 1 == config.k_multi {
-                queries.extend(unique_patterns.iter().map(|p| (p.program(), &[] as &[_])));
-            } else {
-                queries.extend(multi_guarded.iter().map(|g| g.query()));
-            }
-        }
-        let mut single_matches =
-            search_all_guarded_parallel(&queries, egraph, config.search_threads);
-        let multi_matches: Vec<_> = if do_multi {
-            single_matches.split_off(single_rules.len())
-        } else {
-            vec![]
-        };
-
-        // --- apply single-pattern rules --------------------------------------
-        'single_apply: for (rw, matches) in single_rules.iter().zip(&single_matches) {
-            for m in matches {
-                for subst in &m.substs {
-                    // Both limits bound the *apply* loop, not just the
-                    // iteration boundary: a large match batch used to blow
-                    // straight through the wall-clock budget because only
-                    // `node_limit` was checked here (the multi-pattern
-                    // apply below always checked both).
-                    if egraph.total_number_of_nodes() >= config.node_limit
-                        || start.elapsed() >= config.time_limit
-                    {
-                        break 'single_apply;
-                    }
-                    if let Some(cond) = &rw.condition {
-                        if !cond(egraph, m.eclass, subst) {
-                            continue;
-                        }
-                    }
-                    if skip_for_cycles(
-                        egraph,
-                        config.cycle_filter,
-                        &mut desc,
-                        m.eclass,
-                        &rw.applier,
-                        subst,
-                    ) {
-                        continue;
-                    }
-                    rw.applier.apply_one(egraph, m.eclass, subst);
-                }
-            }
-        }
-
-        // --- apply multi-pattern rules (first k_multi iterations only) ------
-        if iter < config.k_multi {
-            for mrule in &compiled {
-                apply_multi_rule(egraph, mrule, &multi_matches, config, &mut desc, start);
-                if egraph.total_number_of_nodes() >= config.node_limit
-                    || start.elapsed() >= config.time_limit
-                {
-                    break;
-                }
-            }
-        }
-
-        egraph.rebuild();
-
-        // Post-processing: resolve cycles that slipped past the pre-filter
-        // (Algorithm 2, lines 10–18).
-        if config.cycle_filter == CycleFilter::Efficient {
-            stats.filtered_nodes += remove_all_cycles(egraph, root);
-        }
-
-        stats.iterations = iter + 1;
-        stats
-            .nodes_per_iteration
-            .push(egraph.total_number_of_nodes());
-
-        let changed =
-            egraph.total_number_of_nodes() != nodes_before || egraph.union_count() != unions_before;
-        if !changed {
-            stats.saturated = true;
-            break;
-        }
-    }
-
-    stats.enodes = egraph.total_number_of_nodes();
-    stats.eclasses = egraph.number_of_classes();
-    stats.time = start.elapsed();
-    stats
-}
-
-/// Returns true if the candidate application must be skipped because it
-/// would create a cycle under the configured filtering mode.
-fn skip_for_cycles(
-    egraph: &TensorEGraph,
-    filter: CycleFilter,
-    desc: &mut Option<DescendantsMap>,
-    matched: Id,
-    target: &Pattern<TensorLang>,
-    subst: &Subst,
-) -> bool {
-    match filter {
-        CycleFilter::Off => false,
-        CycleFilter::Efficient => {
-            let desc = desc
-                .as_ref()
-                .expect("descendants map exists in efficient mode");
-            would_create_cycle(egraph, desc, matched, target, subst)
-        }
-        CycleFilter::Vanilla => {
-            // Vanilla filtering recomputes reachability for every candidate:
-            // a full pass over the e-graph per check (paper §5.2).
-            let fresh = DescendantsMap::compute(egraph);
-            would_create_cycle(egraph, &fresh, matched, target, subst)
-        }
-    }
-}
-
-fn apply_multi_rule(
-    egraph: &mut TensorEGraph,
-    mrule: &MultiRuleCompiled,
-    all_matches: &[Vec<tensat_egraph::SearchMatches>],
-    config: &ExplorationConfig,
-    desc: &mut Option<DescendantsMap>,
-    start: Instant,
-) {
-    // Decanonicalized flat match lists per source pattern.
-    let per_src: Vec<Vec<(Id, Subst)>> = mrule
-        .srcs
-        .iter()
-        .map(|(idx, back)| {
-            all_matches[*idx]
-                .iter()
-                .flat_map(|m| {
-                    m.substs
-                        .iter()
-                        .map(move |s| (m.eclass, decanonicalize_subst(s, back)))
-                })
-                .collect()
-        })
-        .collect();
-
-    // Cartesian product over the source patterns (Algorithm 1, line 16).
-    // All current rules have exactly two sources; the generic recursion
-    // handles more.
-    let mut combo: Vec<(Id, Subst)> = Vec::with_capacity(per_src.len());
-    cartesian(egraph, mrule, &per_src, 0, &mut combo, config, desc, start);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn cartesian(
-    egraph: &mut TensorEGraph,
-    mrule: &MultiRuleCompiled,
-    per_src: &[Vec<(Id, Subst)>],
-    depth: usize,
-    combo: &mut Vec<(Id, Subst)>,
-    config: &ExplorationConfig,
-    desc: &mut Option<DescendantsMap>,
-    start: Instant,
-) {
-    if egraph.total_number_of_nodes() >= config.node_limit || start.elapsed() >= config.time_limit {
-        return;
-    }
-    if depth == per_src.len() {
-        apply_combo(egraph, mrule, combo, config, desc);
-        return;
-    }
-    for (eclass, subst) in &per_src[depth] {
-        if mrule.rule.skip_identical
-            && combo.iter().any(|(c, s)| {
-                egraph.find(*c) == egraph.find(*eclass) && substs_equal_canonical(egraph, s, subst)
-            })
-        {
-            continue;
-        }
-        combo.push((*eclass, subst.clone()));
-        cartesian(
-            egraph,
-            mrule,
-            per_src,
-            depth + 1,
-            combo,
-            config,
-            desc,
-            start,
-        );
-        combo.pop();
-        if egraph.total_number_of_nodes() >= config.node_limit {
-            return;
-        }
-    }
-}
-
-fn apply_combo(
-    egraph: &mut TensorEGraph,
-    mrule: &MultiRuleCompiled,
-    combo: &[(Id, Subst)],
-    config: &ExplorationConfig,
-    desc: &mut Option<DescendantsMap>,
-) {
-    // Check compatibility at shared variables and build the merged binding.
-    let mut merged = Subst::new();
-    for (_, subst) in combo {
-        match merge_substs(egraph, &merged, subst) {
-            Some(m) => merged = m,
-            None => return,
-        }
-    }
-    // Shape check every target, and make sure output shapes match the
-    // matched classes.
-    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
-        if !pattern_is_valid(egraph, dst, &merged) {
-            return;
-        }
-        let target_data = tensat_rules::pattern_data(egraph, dst, &merged);
-        let out_shape = target_data
-            .last()
-            .and_then(|d| d.shape().map(|s| s.to_vec()));
-        let class_shape = egraph.eclass(*matched).data.shape().map(|s| s.to_vec());
-        if let (Some(a), Some(b)) = (class_shape, out_shape) {
-            if a != b {
-                return;
-            }
-        }
-    }
-    // Cycle pre-filtering per target.
-    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
-        if skip_for_cycles(egraph, config.cycle_filter, desc, *matched, dst, &merged) {
-            return;
-        }
-    }
-    // Apply: union each matched class with its instantiated target.
-    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
-        dst.apply_one(egraph, *matched, &merged);
-    }
 }
 
 #[cfg(test)]
@@ -733,6 +586,7 @@ mod tests {
         );
         assert!(stats.saturated);
         assert!(stats.iterations <= 2);
+        assert_eq!(stats.strategy, "saturate");
     }
 
     /// Regression test: the single-pattern apply loop only checked
@@ -897,5 +751,70 @@ mod tests {
             sizes[2] >= sizes[1],
             "k_multi=2 should not shrink: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn explorer_names_parse_like_the_env_override() {
+        for (name, mode) in [
+            ("saturate", ExplorationMode::Saturate),
+            ("saturation", ExplorationMode::Saturate),
+            ("full", ExplorationMode::Saturate),
+            ("guided", ExplorationMode::Guided),
+            ("beam", ExplorationMode::Guided),
+            ("MCTS", ExplorationMode::Guided),
+            ("taso", ExplorationMode::Taso),
+            ("Backtracking", ExplorationMode::Taso),
+        ] {
+            assert_eq!(ExplorationMode::from_name(name), Some(mode));
+        }
+        assert_eq!(ExplorationMode::from_name("ilp"), None);
+        assert_eq!(ExplorationMode::Saturate.strategy_name(), "saturate");
+        assert_eq!(ExplorationMode::Guided.strategy_name(), "guided");
+        assert_eq!(ExplorationMode::Taso.strategy_name(), "taso");
+        // Mode and boxed strategy agree on the name.
+        for mode in [
+            ExplorationMode::Saturate,
+            ExplorationMode::Guided,
+            ExplorationMode::Taso,
+        ] {
+            assert_eq!(mode.strategy().name(), mode.strategy_name());
+        }
+    }
+
+    /// The seam tags stats with the strategy that produced them, for any
+    /// strategy — including a custom one implemented outside this crate.
+    #[test]
+    fn explore_with_runs_custom_strategies() {
+        /// A strategy that does nothing but prove the seam is open.
+        #[derive(Debug)]
+        struct Noop;
+        impl ExplorationStrategy for Noop {
+            fn name(&self) -> &'static str {
+                "noop"
+            }
+            fn run(
+                &self,
+                egraph: &mut TensorEGraph,
+                ctx: &ExplorationContext<'_>,
+            ) -> ExplorationStats {
+                let mut stats = ExplorationStats::default();
+                egraph.rebuild();
+                ctx.finish(egraph, &mut stats);
+                stats
+            }
+        }
+        let (mut eg, root) = two_matmul_graph();
+        let nodes = eg.total_number_of_nodes();
+        let stats = explore_with(
+            &Noop,
+            &mut eg,
+            root,
+            &single_rules(),
+            &multi_rules(),
+            &ExplorationConfig::default(),
+        );
+        assert_eq!(stats.strategy, "noop");
+        assert_eq!(stats.enodes, nodes, "noop strategy must not grow the graph");
+        assert!(stats.time >= Duration::ZERO);
     }
 }

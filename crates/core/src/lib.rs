@@ -6,7 +6,9 @@
 //! and `tensat-ilp` substrates:
 //!
 //! * the **exploration phase** with single- and multi-pattern rewrites
-//!   (Algorithm 1) and a separate `k_multi` limit (§4),
+//!   (Algorithm 1) and a separate `k_multi` limit (§4), behind an
+//!   [`ExplorationStrategy`] seam with saturate-all, guided beam-search,
+//!   and TASO-backtracking strategies,
 //! * **cycle filtering** — both the vanilla and the efficient algorithm
 //!   (Algorithm 2) — so extraction can drop the ILP cycle constraints (§5.2),
 //! * the **extraction phase** — tree-greedy, global greedy DAG, and ILP
@@ -38,7 +40,9 @@ pub mod optimizer;
 
 pub use cycles::{find_cycles, remove_all_cycles, would_create_cycle, DescendantsMap};
 pub use explore::{
-    default_search_threads, explore, CycleFilter, ExplorationConfig, ExplorationStats,
+    default_search_threads, explore, explore_with, CycleFilter, ExplorationConfig,
+    ExplorationContext, ExplorationMode, ExplorationStats, ExplorationStrategy, Guided,
+    GuidedConfig, Saturate, TasoBacktracking, TasoConfig,
 };
 pub use extract::{
     extract_greedy, extract_greedy_dag, extract_ilp, DagCost, ExtractError, ExtractionOutcome,

@@ -1,7 +1,8 @@
 //! The end-to-end TENSAT optimizer: exploration followed by extraction.
 
 use crate::explore::{
-    default_search_threads, explore, CycleFilter, ExplorationConfig, ExplorationStats,
+    default_search_threads, defaults, explore, CycleFilter, ExplorationConfig, ExplorationMode,
+    ExplorationStats, GuidedConfig, TasoConfig,
 };
 use crate::extract::{
     ExtractError, ExtractionStrategy, GreedyDag, IlpConfig, IlpExtraction, IlpStats, TreeGreedy,
@@ -108,6 +109,15 @@ pub struct OptimizerConfig {
     /// wall-clock time). Defaults to
     /// [`default_search_threads`].
     pub search_threads: usize,
+    /// Which exploration strategy to run (saturate-all, guided beam
+    /// search, or the TASO backtracking baseline).
+    pub exploration: ExplorationMode,
+    /// Parameters of the guided strategy (used when `exploration` is
+    /// [`ExplorationMode::Guided`]).
+    pub guided: GuidedConfig,
+    /// Parameters of the TASO baseline (used when `exploration` is
+    /// [`ExplorationMode::Taso`]).
+    pub taso: TasoConfig,
     /// Which extraction algorithm to use.
     pub extraction: ExtractionMode,
     /// Include the ILP acyclicity constraints (only meaningful with
@@ -122,22 +132,47 @@ pub struct OptimizerConfig {
 }
 
 impl Default for OptimizerConfig {
-    /// Paper defaults, except that a `TENSAT_EXTRACTOR` environment
-    /// override (see [`ExtractionMode::from_env`]) replaces the default
-    /// ILP extraction when set.
+    /// Paper defaults (the exploration limits come from the one source of
+    /// truth, [`defaults`]), except that
+    /// `TENSAT_EXTRACTOR` / `TENSAT_EXPLORER` environment overrides (see
+    /// [`ExtractionMode::from_env`] and [`ExplorationMode::from_env`])
+    /// replace the default ILP extraction / saturate exploration when set.
     fn default() -> Self {
         OptimizerConfig {
-            k_multi: 1,
-            max_iter: 15,
-            node_limit: 50_000,
-            exploration_time_limit: Duration::from_secs(60),
+            k_multi: defaults::K_MULTI,
+            max_iter: defaults::MAX_ITER,
+            node_limit: defaults::NODE_LIMIT,
+            exploration_time_limit: defaults::TIME_LIMIT,
             cycle_filter: CycleFilter::Efficient,
             search_threads: default_search_threads(),
+            exploration: ExplorationMode::from_env().unwrap_or(ExplorationMode::Saturate),
+            guided: GuidedConfig::default(),
+            taso: TasoConfig::default(),
             extraction: ExtractionMode::from_env().unwrap_or(ExtractionMode::Ilp),
             ilp_cycle_constraints: false,
             ilp_integer_topo_vars: false,
             ilp_time_limit: Duration::from_secs(60),
             cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The [`ExplorationConfig`] this optimizer configuration implies —
+    /// the one conversion between the two views of the exploration limits,
+    /// so the optimizer cannot drift from the exploration defaults.
+    pub fn exploration_config(&self) -> ExplorationConfig {
+        ExplorationConfig {
+            k_multi: self.k_multi,
+            max_iter: self.max_iter,
+            node_limit: self.node_limit,
+            time_limit: self.exploration_time_limit,
+            cycle_filter: self.cycle_filter,
+            search_threads: self.search_threads,
+            mode: self.exploration,
+            cost_model: self.cost_model.clone(),
+            guided: self.guided.clone(),
+            taso: self.taso.clone(),
         }
     }
 }
@@ -291,14 +326,7 @@ impl Optimizer {
         let root = egraph.add_expr(graph);
         egraph.rebuild();
 
-        let exploration_config = ExplorationConfig {
-            k_multi: self.config.k_multi,
-            max_iter: self.config.max_iter,
-            node_limit: self.config.node_limit,
-            time_limit: self.config.exploration_time_limit,
-            cycle_filter: self.config.cycle_filter,
-            search_threads: self.config.search_threads,
-        };
+        let exploration_config = self.config.exploration_config();
         let exploration = explore(
             &mut egraph,
             root,
@@ -432,6 +460,71 @@ mod tests {
         assert_eq!(ExtractionMode::Greedy.strategy_name(), "tree-greedy");
         assert_eq!(ExtractionMode::GreedyDag.strategy_name(), "greedy-dag");
         assert_eq!(ExtractionMode::Ilp.strategy_name(), "ilp");
+    }
+
+    #[test]
+    fn exploration_limits_have_one_source_of_truth() {
+        // The optimizer defaults and the exploration defaults must be the
+        // same values — both now read `explore::defaults` — and the
+        // conversion helper must carry every shared field across.
+        let opt = OptimizerConfig::default();
+        let exp = ExplorationConfig::default();
+        assert_eq!(opt.k_multi, exp.k_multi);
+        assert_eq!(opt.max_iter, exp.max_iter);
+        assert_eq!(opt.node_limit, exp.node_limit);
+        assert_eq!(opt.exploration_time_limit, exp.time_limit);
+        assert_eq!(opt.cycle_filter, exp.cycle_filter);
+
+        let derived = OptimizerConfig {
+            k_multi: 3,
+            max_iter: 7,
+            node_limit: 123,
+            exploration_time_limit: Duration::from_millis(250),
+            cycle_filter: CycleFilter::Vanilla,
+            search_threads: 2,
+            exploration: ExplorationMode::Guided,
+            ..Default::default()
+        }
+        .exploration_config();
+        assert_eq!(derived.k_multi, 3);
+        assert_eq!(derived.max_iter, 7);
+        assert_eq!(derived.node_limit, 123);
+        assert_eq!(derived.time_limit, Duration::from_millis(250));
+        assert_eq!(derived.cycle_filter, CycleFilter::Vanilla);
+        assert_eq!(derived.search_threads, 2);
+        assert_eq!(derived.mode, ExplorationMode::Guided);
+    }
+
+    #[test]
+    fn guided_exploration_never_worsens_and_respects_budget() {
+        let graph = parallel_matmul_graph();
+        let config = OptimizerConfig {
+            exploration: ExplorationMode::Guided,
+            node_limit: 200,
+            extraction: ExtractionMode::GreedyDag,
+            ..Default::default()
+        };
+        let result = Optimizer::new(config).optimize(&graph).unwrap();
+        assert_eq!(result.stats.exploration.strategy, "guided");
+        assert!(result.stats.exploration.enodes <= 200);
+        assert!(result.optimized_cost <= result.original_cost);
+        let data = tensat_ir::infer_recexpr(&result.optimized_graph);
+        assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    #[test]
+    fn taso_exploration_never_worsens() {
+        let graph = parallel_matmul_graph();
+        let config = OptimizerConfig {
+            exploration: ExplorationMode::Taso,
+            extraction: ExtractionMode::GreedyDag,
+            ..Default::default()
+        };
+        let result = Optimizer::new(config).optimize(&graph).unwrap();
+        assert_eq!(result.stats.exploration.strategy, "taso");
+        assert!(result.optimized_cost <= result.original_cost);
+        let data = tensat_ir::infer_recexpr(&result.optimized_graph);
+        assert!(data.iter().all(|d| d.is_valid()));
     }
 
     #[test]

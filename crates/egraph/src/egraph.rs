@@ -220,6 +220,18 @@ impl<L: Language, N: Analysis<L>> EGraph<L, N> {
         self.union_count
     }
 
+    /// A deep copy of the e-graph: the snapshot/replay primitive for
+    /// strategies that expand several candidate states from one parent
+    /// (e.g. guided exploration). Ids, slots, match results, and the
+    /// filter set on the snapshot are identical to the original until
+    /// either side is mutated; neither copy observes the other's changes.
+    pub fn snapshot(&self) -> Self
+    where
+        Self: Clone,
+    {
+        self.clone()
+    }
+
     /// Canonicalizes an e-class id.
     #[inline]
     pub fn find(&self, id: Id) -> Id {

@@ -84,7 +84,7 @@ pub use pattern::{
 };
 pub use recexpr::RecExpr;
 pub use rewrite::{Condition, Rewrite};
-pub use runner::{search_threads_from_env, Iteration, Runner, StopReason};
+pub use runner::{explorer_from_env, search_threads_from_env, Iteration, Runner, StopReason};
 pub use unionfind::UnionFind;
 
 /// A tiny arithmetic language exported solely so that doc examples across

@@ -21,6 +21,20 @@ fn parse_search_threads(raw: &str) -> Option<usize> {
     raw.trim().parse().ok().filter(|&n| n >= 1)
 }
 
+/// Reads the `TENSAT_EXPLORER` environment variable: the name of the
+/// exploration strategy harnesses and tests want forced, mirroring
+/// `TENSAT_EXTRACTOR` for extraction. Returns the raw trimmed name (or
+/// `None` when unset or empty); parsing names into strategies is the
+/// caller's job (`tensat_core::ExplorationMode::from_name`), which keeps
+/// this crate agnostic of the strategy set. Read uncached, like
+/// `TENSAT_SEARCH_THREADS`, so it can vary per run.
+pub fn explorer_from_env() -> Option<String> {
+    std::env::var("TENSAT_EXPLORER")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+}
+
 /// Why the runner stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StopReason {
@@ -180,6 +194,28 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
     pub fn with_search_threads(mut self, n_threads: usize) -> Self {
         self.search_threads = n_threads.max(1);
         self
+    }
+
+    /// Forks this runner: a fresh runner over a [`EGraph::snapshot`] of the
+    /// e-graph with the same roots and limits but no recorded history.
+    /// This is the snapshot/replay primitive guided exploration strategies
+    /// use to expand several candidate states from one parent without the
+    /// candidates observing each other's mutations.
+    pub fn fork(&self) -> Self
+    where
+        EGraph<L, N>: Clone,
+    {
+        Runner {
+            egraph: self.egraph.snapshot(),
+            roots: self.roots.clone(),
+            iterations: vec![],
+            stop_reason: None,
+            iter_limit: self.iter_limit,
+            node_limit: self.node_limit,
+            time_limit: self.time_limit,
+            incremental: self.incremental,
+            search_threads: self.search_threads,
+        }
     }
 
     /// Extracts the best term for the first seeded root with the tree-greedy
@@ -620,7 +656,7 @@ mod tests {
             pattern(|p| {
                 let y = p.add(var("y"));
                 let x = p.add(var("x"));
-                p.add(node(Math::Add([x, y])));
+                p.add(node(Math::Add([y, x])));
             }),
         );
         let mut e = RecExpr::default();
@@ -629,6 +665,42 @@ mod tests {
         e.add(Math::Add([a, b]));
         let mut runner = Runner::new(RcAnalysis).with_expr(&e);
         assert_eq!(runner.run_sequential(&[comm]), StopReason::Saturated);
+    }
+
+    #[test]
+    fn fork_isolates_the_parent_runner() {
+        // Snapshot/replay primitive for guided exploration: a forked
+        // runner can grow independently without the parent observing any
+        // change, while inheriting roots and limits.
+        let comm: Rewrite<Math, ()> = Rewrite::new(
+            "commute-add",
+            pattern(|p| {
+                let x = p.add(var("x"));
+                let y = p.add(var("y"));
+                p.add(node(Math::Add([x, y])));
+            }),
+            pattern(|p| {
+                let y = p.add(var("y"));
+                let x = p.add(var("x"));
+                p.add(node(Math::Add([y, x])));
+            }),
+        );
+        let mut e = RecExpr::default();
+        let a = e.add(Math::Sym(Symbol::new("a")));
+        let b = e.add(Math::Sym(Symbol::new("b")));
+        e.add(Math::Add([a, b]));
+        let runner = Runner::new(()).with_expr(&e).with_iter_limit(4);
+        let parent_nodes = runner.egraph.total_number_of_nodes();
+
+        let mut child = runner.fork();
+        assert_eq!(child.roots, runner.roots);
+        assert_eq!(child.egraph.total_number_of_nodes(), parent_nodes);
+        assert_eq!(child.run(&[comm]), StopReason::Saturated);
+
+        // The child saturated and grew; the parent is untouched.
+        assert!(child.egraph.total_number_of_nodes() > parent_nodes);
+        assert_eq!(runner.egraph.total_number_of_nodes(), parent_nodes);
+        assert!(runner.iterations.is_empty());
     }
 
     #[test]
@@ -645,7 +717,7 @@ mod tests {
             pattern(|p| {
                 let y = p.add(var("y"));
                 let x = p.add(var("x"));
-                p.add(node(Math::Add([x, y])));
+                p.add(node(Math::Add([y, x])));
             }),
         );
         let mut e = RecExpr::default();

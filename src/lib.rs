@@ -46,9 +46,11 @@ pub use tensat_verify as verify;
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use tensat_core::{
-        explore, extract_greedy, extract_greedy_dag, extract_ilp, CycleFilter, ExplorationConfig,
-        ExtractionMode, ExtractionOutcome, ExtractionStrategy, GreedyDag, IlpConfig, IlpExtraction,
-        OptimizationResult, Optimizer, OptimizerConfig, TreeGreedy,
+        explore, explore_with, extract_greedy, extract_greedy_dag, extract_ilp, CycleFilter,
+        ExplorationConfig, ExplorationMode, ExplorationStrategy, ExtractionMode, ExtractionOutcome,
+        ExtractionStrategy, GreedyDag, Guided, GuidedConfig, IlpConfig, IlpExtraction,
+        OptimizationResult, Optimizer, OptimizerConfig, Saturate, TasoBacktracking, TasoConfig,
+        TreeGreedy,
     };
     pub use tensat_egraph::{EGraph, Id, Pattern, RecExpr, Rewrite, Runner, Symbol};
     pub use tensat_ir::{

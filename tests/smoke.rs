@@ -84,6 +84,42 @@ fn every_benchmark_survives_greedy_dag_extraction() {
 }
 
 #[test]
+fn every_benchmark_survives_guided_exploration() {
+    // The guided-exploration canary: beam search under a hard node budget
+    // must stay within that budget on every model, still extract a valid
+    // graph, and never make it worse. Tight limits — this guards the
+    // snapshot/replay wiring, not search quality.
+    for &name in BENCHMARKS {
+        let graph = build_benchmark(name, ModelScale::tiny());
+        let result = Optimizer::new(OptimizerConfig {
+            exploration: ExplorationMode::Guided,
+            extraction: ExtractionMode::GreedyDag,
+            ..smoke_config()
+        })
+        .optimize(&graph)
+        .unwrap_or_else(|e| panic!("{name}: guided optimize failed: {e}"));
+        assert_eq!(result.stats.exploration.strategy, "guided", "{name}");
+        assert!(
+            result.stats.exploration.enodes <= smoke_config().node_limit,
+            "{name}: guided left {} e-nodes over the budget of {}",
+            result.stats.exploration.enodes,
+            smoke_config().node_limit
+        );
+        assert!(
+            result.optimized_cost <= result.original_cost + 1e-9,
+            "{name}: guided smoke run made the graph worse ({} -> {})",
+            result.original_cost,
+            result.optimized_cost
+        );
+        let shapes = tensat::ir::infer_recexpr(&result.optimized_graph);
+        assert!(
+            shapes.iter().all(|d| d.is_valid()),
+            "{name}: guided smoke run produced an ill-typed graph"
+        );
+    }
+}
+
+#[test]
 fn facade_prelude_exposes_the_documented_surface() {
     // Compile-time check that the advertised prelude names resolve; a few
     // are also exercised so the test has observable behavior.
@@ -97,4 +133,12 @@ fn facade_prelude_exposes_the_documented_surface() {
     let _ = ExplorationConfig::default();
     let _ = BacktrackingConfig::default();
     let _: CycleFilter = CycleFilter::Efficient;
+    let _ = GuidedConfig::default();
+    let _ = TasoConfig::default();
+    assert_eq!(ExplorationMode::Guided.strategy_name(), Guided.name());
+    assert_eq!(ExplorationMode::Saturate.strategy_name(), Saturate.name());
+    assert_eq!(
+        ExplorationMode::Taso.strategy_name(),
+        TasoBacktracking.name()
+    );
 }
