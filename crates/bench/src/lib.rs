@@ -34,6 +34,7 @@ pub fn tensat_config(k_multi: usize) -> OptimizerConfig {
         exploration_time_limit: Duration::from_secs(30),
         cycle_filter: CycleFilter::Efficient,
         search_threads: tensat_core::default_search_threads(),
+        apply_threads: tensat_egraph::apply_threads_from_env(),
         extraction: ExtractionMode::Ilp,
         exploration: tensat_core::ExplorationMode::Saturate,
         guided: Default::default(),

@@ -12,14 +12,40 @@ use super::{
     canonicalize_pattern, compile_multi_guards, decanonicalize_subst, merge_substs,
     substs_equal_canonical, CycleFilter, ExplorationConfig, ExplorationStats, MultiRuleCompiled,
 };
-use crate::cycles::{remove_all_cycles, would_create_cycle, DescendantsMap};
+use crate::cycles::{
+    remove_all_cycles, staged_would_create_cycle, would_create_cycle, DescendantsMap,
+};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use tensat_egraph::{
-    search_all_guarded_parallel, GuardedProgram, Id, Pattern, SearchMatches, SearchQuery, Subst,
+    search_all_guarded_parallel, search_all_guarded_since_parallel, stage_matches_parallel,
+    GuardedProgram, Id, Pattern, SearchMatches, SearchQuery, StagedApp, Subst,
 };
 use tensat_ir::{TensorData, TensorEGraph, TensorLang};
 use tensat_rules::{pattern_is_valid, MultiPatternRule, TensorRewrite};
+
+/// Cross-iteration state of the incremental multi-pattern search
+/// ([`ExplorationConfig::incremental_multi`]): the watermark taken after
+/// the previous iteration's search, the effective match lists that
+/// iteration used (per unique canonical source, the next iteration's
+/// *stale* candidates), and the honesty gate. Owned by the strategy loop
+/// ([`Saturate`](super::Saturate)) and threaded through
+/// [`ExplorationContext::run_iteration_with`]; a fresh default state makes
+/// every iteration a full search.
+#[derive(Debug, Default)]
+pub struct IncrementalMultiState {
+    /// Watermark snapshot from the previous iteration (taken on the clean
+    /// iteration-start e-graph, before any application).
+    watermark: Option<u64>,
+    /// Per unique canonical source: the previous iteration's flattened
+    /// `(root class, canonical substitution)` match list, in search order.
+    cache: Vec<Vec<(Id, Subst)>>,
+    /// True when a cycle-filter event (a combination rejected by the
+    /// pre-filter, or e-nodes filtered by the post-pass) may have
+    /// invalidated the cache: filter decisions are not covered by touch
+    /// propagation, so the next iteration must search in full.
+    flush: bool,
+}
 
 /// Everything a strategy needs to explore: the root, the rules with their
 /// compiled programs and guard tables, the configuration, and the budget
@@ -147,6 +173,23 @@ impl<'a> ExplorationContext<'a> {
         iter: usize,
         stats: &mut ExplorationStats,
     ) -> bool {
+        self.run_iteration_with(egraph, iter, stats, &mut IncrementalMultiState::default())
+    }
+
+    /// [`ExplorationContext::run_iteration`] with the cross-iteration
+    /// incremental multi-pattern state threaded through: when
+    /// [`ExplorationConfig::incremental_multi`] is set and the state holds
+    /// a usable cache, the multi sources are searched
+    /// watermark-restricted and all-stale Cartesian combinations are
+    /// skipped (they were applied, or rejected for covered reasons, in an
+    /// earlier iteration) — bit-identical to the full search.
+    pub fn run_iteration_with(
+        &self,
+        egraph: &mut TensorEGraph,
+        iter: usize,
+        stats: &mut ExplorationStats,
+        inc: &mut IncrementalMultiState,
+    ) -> bool {
         let config = self.config;
         let nodes_before = egraph.total_number_of_nodes();
         let unions_before = egraph.union_count();
@@ -175,12 +218,26 @@ impl<'a> ExplorationContext<'a> {
         // multi sources: the intersected target-implied constraints), so
         // inadmissible bindings die inside the machine.
         let do_multi = iter < config.k_multi;
+        let last_multi = iter + 1 == config.k_multi;
+        // Incremental multi search applies only between two *guarded* multi
+        // searches with a valid cache: the final multi iteration searches
+        // unguarded (below) — a strictly larger match set a guarded cache
+        // cannot stand in for — and the honesty gate (`flush`) forces a
+        // full search after any cycle-filter event.
+        let incremental = config.incremental_multi
+            && do_multi
+            && !last_multi
+            && !inc.flush
+            && inc.watermark.is_some()
+            && inc.cache.len() == self.unique_patterns.len();
+
+        let search_start = Instant::now();
         let mut queries: Vec<SearchQuery<'_, TensorLang, TensorData>> = self
             .single_rules
             .iter()
             .map(|rw| rw.searcher_query())
             .collect();
-        if do_multi {
+        if do_multi && !incremental {
             // Guards evaluate at search time while `apply_combo` validates
             // at apply time, and unions performed earlier in the same
             // iteration (single-pattern applications run first) can make a
@@ -194,7 +251,7 @@ impl<'a> ExplorationContext<'a> {
             // are searched every iteration, and the saturation check only
             // declares a fixpoint when an iteration changed nothing at
             // all.)
-            if iter + 1 == config.k_multi {
+            if last_multi {
                 queries.extend(
                     self.unique_patterns
                         .iter()
@@ -207,49 +264,124 @@ impl<'a> ExplorationContext<'a> {
         let mut single_matches =
             search_all_guarded_parallel(&queries, egraph, config.search_threads);
         let multi_matches: Vec<_> = if do_multi {
-            single_matches.split_off(self.single_rules.len())
+            if incremental {
+                // Watermark-restricted search of the multi sources: only
+                // classes touched since the previous iteration's snapshot
+                // are revisited (the singles above still search in full).
+                let queries: Vec<SearchQuery<'_, TensorLang, TensorData>> =
+                    self.multi_guarded.iter().map(|g| g.query()).collect();
+                search_all_guarded_since_parallel(
+                    &queries,
+                    egraph,
+                    inc.watermark.expect("incremental implies a watermark"),
+                    config.search_threads,
+                )
+            } else {
+                single_matches.split_off(self.single_rules.len())
+            }
         } else {
             vec![]
         };
 
-        // --- apply single-pattern rules --------------------------------------
-        'single_apply: for (rw, matches) in self.single_rules.iter().zip(&single_matches) {
-            for m in matches {
-                for subst in &m.substs {
-                    // Both limits bound the *apply* loop, not just the
-                    // iteration boundary: a large match batch used to blow
-                    // straight through the wall-clock budget because only
-                    // `node_limit` was checked here (the multi-pattern
-                    // apply below always checked both).
-                    if egraph.total_number_of_nodes() >= config.node_limit
-                        || self.elapsed() >= config.time_limit
-                    {
-                        break 'single_apply;
-                    }
-                    if let Some(cond) = &rw.condition {
-                        if !cond(egraph, m.eclass, subst) {
-                            continue;
-                        }
-                    }
-                    if skip_for_cycles(
-                        egraph,
-                        config.cycle_filter,
-                        &mut desc,
-                        m.eclass,
-                        &rw.applier,
-                        subst,
-                    ) {
-                        continue;
-                    }
-                    rw.applier.apply_one(egraph, m.eclass, subst);
-                }
+        // Flatten the multi match lists, tagging each entry fresh or stale.
+        // In the incremental case the effective list is the union of the
+        // cached matches whose root class is untouched since the watermark
+        // (a touched root's matches are all re-found by `search_since`, so
+        // dropping them loses nothing) and the freshly found matches; a
+        // class's matches are wholly stale or wholly fresh, so a stable
+        // sort by root id reproduces the full search's class order — and
+        // with it the full search's application order — exactly.
+        let multi_flat: Vec<Vec<(Id, Subst, bool)>> = if incremental {
+            let wm = inc.watermark.expect("incremental implies a watermark");
+            multi_matches
+                .iter()
+                .enumerate()
+                .map(|(si, fresh)| {
+                    let mut list: Vec<(Id, Subst, bool)> = inc.cache[si]
+                        .iter()
+                        .filter(|(eclass, _)| egraph.last_touched(*eclass) < wm)
+                        .map(|(eclass, subst)| (*eclass, subst.clone(), false))
+                        .collect();
+                    list.extend(flatten_matches(fresh));
+                    list.sort_by_key(|(eclass, _, _)| usize::from(*eclass));
+                    list
+                })
+                .collect()
+        } else {
+            multi_matches
+                .iter()
+                .map(|ms| flatten_matches(ms).collect())
+                .collect()
+        };
+        stats.search_time += search_start.elapsed();
+
+        if config.incremental_multi && do_multi && !last_multi {
+            // Snapshot before this iteration mutates anything, and keep the
+            // effective match lists: the next iteration's stale candidates.
+            inc.watermark = Some(egraph.watermark());
+            inc.cache = multi_flat
+                .iter()
+                .map(|list| {
+                    list.iter()
+                        .map(|(eclass, subst, _)| (*eclass, subst.clone()))
+                        .collect()
+                })
+                .collect();
+            inc.flush = false;
+        } else {
+            // The guarded multi window is over: nothing cached from here
+            // can seed an incremental search.
+            inc.watermark = None;
+            inc.cache = vec![];
+        }
+
+        // --- apply single-pattern rules (staged) -----------------------------
+        // The whole gathered batch is staged against the read-only
+        // iteration-start e-graph — side conditions evaluate here, sharded
+        // across `apply_threads` scoped workers — then committed in one
+        // sequential pass in batch order, with the limits and the cycle
+        // pre-filter checked before every application, exactly where the
+        // in-place loop checked them. The wall-clock budget also bounds the
+        // staging loop itself (`should_stop`): a large match batch must not
+        // blow through `time_limit` evaluating conditions.
+        let apply_start = Instant::now();
+        let should_stop = || self.elapsed() >= config.time_limit;
+        let batch: Vec<(&TensorRewrite, &[SearchMatches])> = self
+            .single_rules
+            .iter()
+            .zip(single_matches.iter().map(Vec::as_slice))
+            .collect();
+        let log = stage_matches_parallel(
+            &batch,
+            egraph,
+            config.resolved_apply_threads(),
+            Some(&should_stop),
+        );
+        for app in &log.apps {
+            if egraph.total_number_of_nodes() >= config.node_limit
+                || self.elapsed() >= config.time_limit
+            {
+                break;
             }
+            if skip_staged_for_cycles(egraph, config.cycle_filter, &mut desc, app) {
+                continue;
+            }
+            egraph.commit_staged(app, log.base);
         }
 
         // --- apply multi-pattern rules (first k_multi iterations only) ------
-        if iter < config.k_multi {
+        let mut events = MultiApplyEvents::default();
+        if do_multi {
             for mrule in &self.compiled {
-                apply_multi_rule(egraph, mrule, &multi_matches, config, &mut desc, self.start);
+                apply_multi_rule(
+                    egraph,
+                    mrule,
+                    &multi_flat,
+                    config,
+                    &mut desc,
+                    self.start,
+                    &mut events,
+                );
                 if egraph.total_number_of_nodes() >= config.node_limit
                     || self.elapsed() >= config.time_limit
                 {
@@ -257,13 +389,26 @@ impl<'a> ExplorationContext<'a> {
                 }
             }
         }
+        stats.multi_stale_skipped += events.stale_skipped;
+        stats.apply_time += apply_start.elapsed();
 
+        let rebuild_start = Instant::now();
         egraph.rebuild();
 
         // Post-processing: resolve cycles that slipped past the pre-filter
         // (Algorithm 2, lines 10–18).
+        let mut filtered_this_iter = 0;
         if config.cycle_filter == CycleFilter::Efficient {
-            stats.filtered_nodes += remove_all_cycles(egraph, self.root);
+            filtered_this_iter = remove_all_cycles(egraph, self.root);
+            stats.filtered_nodes += filtered_this_iter;
+        }
+        stats.rebuild_time += rebuild_start.elapsed();
+
+        // Honesty gate: cycle-filter decisions are not covered by touch
+        // propagation, so any filter event this iteration could flip a
+        // cached combination's verdict — the next search must run in full.
+        if events.cycle_rejects > 0 || filtered_this_iter > 0 {
+            inc.flush = true;
         }
 
         stats.iterations = iter + 1;
@@ -327,30 +472,29 @@ impl<'a> ExplorationContext<'a> {
             CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
             _ => None,
         };
-        'apply: for m in matches {
-            for subst in &m.substs {
-                if egraph.total_number_of_nodes() + headroom > budget
-                    || self.elapsed() >= self.config.time_limit
-                {
-                    break 'apply;
-                }
-                if let Some(cond) = &rw.condition {
-                    if !cond(egraph, m.eclass, subst) {
-                        continue;
-                    }
-                }
-                if skip_for_cycles(
-                    egraph,
-                    self.config.cycle_filter,
-                    &mut desc,
-                    m.eclass,
-                    &rw.applier,
-                    subst,
-                ) {
-                    continue;
-                }
-                rw.applier.apply_one(egraph, m.eclass, subst);
+        // Staged like `run_iteration_with`'s single apply: conditions
+        // evaluate against the read-only batch-start state, the commit
+        // pass checks the budget before every application, and one commit
+        // adds at most `adds.len() <= headroom` nodes — so the budget
+        // stays hard.
+        let should_stop = || self.elapsed() >= self.config.time_limit;
+        let batch = [(rw, matches)];
+        let log = stage_matches_parallel(
+            &batch,
+            egraph,
+            self.config.resolved_apply_threads(),
+            Some(&should_stop),
+        );
+        for app in &log.apps {
+            if egraph.total_number_of_nodes() + headroom > budget
+                || self.elapsed() >= self.config.time_limit
+            {
+                break;
             }
+            if skip_staged_for_cycles(egraph, self.config.cycle_filter, &mut desc, app) {
+                continue;
+            }
+            egraph.commit_staged(app, log.base);
         }
         self.seal_state(egraph);
     }
@@ -385,7 +529,19 @@ impl<'a> ExplorationContext<'a> {
             CycleFilter::Efficient => Some(DescendantsMap::compute(egraph)),
             _ => None,
         };
-        apply_multi_rule(egraph, mrule, multi_matches, &capped, &mut desc, self.start);
+        let flat: Vec<Vec<(Id, Subst, bool)>> = multi_matches
+            .iter()
+            .map(|ms| flatten_matches(ms).collect())
+            .collect();
+        apply_multi_rule(
+            egraph,
+            mrule,
+            &flat,
+            &capped,
+            &mut desc,
+            self.start,
+            &mut MultiApplyEvents::default(),
+        );
         self.seal_state(egraph);
     }
 
@@ -395,6 +551,49 @@ impl<'a> ExplorationContext<'a> {
         egraph.rebuild();
         if self.config.cycle_filter == CycleFilter::Efficient {
             remove_all_cycles(egraph, self.root);
+        }
+    }
+}
+
+/// Flattens one source pattern's match list into `(root class, canonical
+/// substitution, fresh)` entries in search order, all tagged fresh.
+fn flatten_matches(matches: &[SearchMatches]) -> impl Iterator<Item = (Id, Subst, bool)> + '_ {
+    matches
+        .iter()
+        .flat_map(|m| m.substs.iter().map(move |s| (m.eclass, s.clone(), true)))
+}
+
+/// Cycle-filter events observed while applying multi-pattern rules: the
+/// incremental cache's honesty gate counts the rejections, and the skip
+/// counter feeds [`ExplorationStats::multi_stale_skipped`].
+#[derive(Debug, Default)]
+struct MultiApplyEvents {
+    /// Combinations rejected by the cycle pre-filter.
+    cycle_rejects: usize,
+    /// All-stale combinations skipped by the incremental search.
+    stale_skipped: usize,
+}
+
+/// Commit-time cycle pre-filter for staged applications: the same verdict
+/// [`skip_for_cycles`] would reach for the application, read from the
+/// staged bound list instead of re-walking the target pattern.
+fn skip_staged_for_cycles(
+    egraph: &TensorEGraph,
+    filter: CycleFilter,
+    desc: &mut Option<DescendantsMap>,
+    app: &StagedApp<TensorLang>,
+) -> bool {
+    match filter {
+        CycleFilter::Off => false,
+        CycleFilter::Efficient => {
+            let desc = desc
+                .as_ref()
+                .expect("descendants map exists in efficient mode");
+            staged_would_create_cycle(egraph, desc, app)
+        }
+        CycleFilter::Vanilla => {
+            let fresh = DescendantsMap::compute(egraph);
+            staged_would_create_cycle(egraph, &fresh, app)
         }
     }
 }
@@ -426,26 +625,25 @@ fn skip_for_cycles(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_multi_rule(
     egraph: &mut TensorEGraph,
     mrule: &MultiRuleCompiled,
-    all_matches: &[Vec<SearchMatches>],
+    all_matches: &[Vec<(Id, Subst, bool)>],
     config: &ExplorationConfig,
     desc: &mut Option<DescendantsMap>,
     start: Instant,
+    events: &mut MultiApplyEvents,
 ) {
-    // Decanonicalized flat match lists per source pattern.
-    let per_src: Vec<Vec<(Id, Subst)>> = mrule
+    // Decanonicalized flat match lists per source pattern, carrying each
+    // entry's freshness tag (always `true` outside incremental search).
+    let per_src: Vec<Vec<(Id, Subst, bool)>> = mrule
         .srcs
         .iter()
         .map(|(idx, back)| {
             all_matches[*idx]
                 .iter()
-                .flat_map(|m| {
-                    m.substs
-                        .iter()
-                        .map(move |s| (m.eclass, decanonicalize_subst(s, back)))
-                })
+                .map(|(eclass, subst, fresh)| (*eclass, decanonicalize_subst(subst, back), *fresh))
                 .collect()
         })
         .collect();
@@ -453,37 +651,49 @@ fn apply_multi_rule(
     // Cartesian product over the source patterns (Algorithm 1, line 16).
     // All current rules have exactly two sources; the generic recursion
     // handles more.
-    let mut combo: Vec<(Id, Subst)> = Vec::with_capacity(per_src.len());
-    cartesian(egraph, mrule, &per_src, 0, &mut combo, config, desc, start);
+    let mut combo: Vec<(Id, Subst, bool)> = Vec::with_capacity(per_src.len());
+    cartesian(
+        egraph, mrule, &per_src, 0, &mut combo, config, desc, start, events,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
 fn cartesian(
     egraph: &mut TensorEGraph,
     mrule: &MultiRuleCompiled,
-    per_src: &[Vec<(Id, Subst)>],
+    per_src: &[Vec<(Id, Subst, bool)>],
     depth: usize,
-    combo: &mut Vec<(Id, Subst)>,
+    combo: &mut Vec<(Id, Subst, bool)>,
     config: &ExplorationConfig,
     desc: &mut Option<DescendantsMap>,
     start: Instant,
+    events: &mut MultiApplyEvents,
 ) {
     if egraph.total_number_of_nodes() >= config.node_limit || start.elapsed() >= config.time_limit {
         return;
     }
     if depth == per_src.len() {
-        apply_combo(egraph, mrule, combo, config, desc);
+        if combo.iter().any(|(_, _, fresh)| *fresh) {
+            apply_combo(egraph, mrule, combo, config, desc, events);
+        } else {
+            // Every element predates the incremental watermark: this exact
+            // combination was already applied in an earlier iteration
+            // (re-applying is a hash-cons/union no-op) or rejected there
+            // for a reason touch propagation covers — skipping it is
+            // bit-identical to re-running it.
+            events.stale_skipped += 1;
+        }
         return;
     }
-    for (eclass, subst) in &per_src[depth] {
+    for (eclass, subst, fresh) in &per_src[depth] {
         if mrule.rule.skip_identical
-            && combo.iter().any(|(c, s)| {
+            && combo.iter().any(|(c, s, _)| {
                 egraph.find(*c) == egraph.find(*eclass) && substs_equal_canonical(egraph, s, subst)
             })
         {
             continue;
         }
-        combo.push((*eclass, subst.clone()));
+        combo.push((*eclass, subst.clone(), *fresh));
         cartesian(
             egraph,
             mrule,
@@ -493,6 +703,7 @@ fn cartesian(
             config,
             desc,
             start,
+            events,
         );
         combo.pop();
         if egraph.total_number_of_nodes() >= config.node_limit {
@@ -504,13 +715,14 @@ fn cartesian(
 fn apply_combo(
     egraph: &mut TensorEGraph,
     mrule: &MultiRuleCompiled,
-    combo: &[(Id, Subst)],
+    combo: &[(Id, Subst, bool)],
     config: &ExplorationConfig,
     desc: &mut Option<DescendantsMap>,
+    events: &mut MultiApplyEvents,
 ) {
     // Check compatibility at shared variables and build the merged binding.
     let mut merged = Subst::new();
-    for (_, subst) in combo {
+    for (_, subst, _) in combo {
         match merge_substs(egraph, &merged, subst) {
             Some(m) => merged = m,
             None => return,
@@ -518,7 +730,7 @@ fn apply_combo(
     }
     // Shape check every target, and make sure output shapes match the
     // matched classes.
-    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+    for ((matched, _, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
         if !pattern_is_valid(egraph, dst, &merged) {
             return;
         }
@@ -534,13 +746,14 @@ fn apply_combo(
         }
     }
     // Cycle pre-filtering per target.
-    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+    for ((matched, _, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
         if skip_for_cycles(egraph, config.cycle_filter, desc, *matched, dst, &merged) {
+            events.cycle_rejects += 1;
             return;
         }
     }
     // Apply: union each matched class with its instantiated target.
-    for ((matched, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
+    for ((matched, _, _), dst) in combo.iter().zip(&mrule.rule.dsts) {
         dst.apply_one(egraph, *matched, &merged);
     }
 }

@@ -29,7 +29,7 @@ pub mod legacy;
 mod saturate;
 mod taso;
 
-pub use context::ExplorationContext;
+pub use context::{ExplorationContext, IncrementalMultiState};
 pub use guided::{Guided, GuidedConfig};
 pub use saturate::Saturate;
 pub use taso::{TasoBacktracking, TasoConfig};
@@ -151,6 +151,24 @@ pub struct ExplorationConfig {
     /// classes across scoped threads with bit-identical match lists, so
     /// this only affects wall-clock time.
     pub search_threads: usize,
+    /// Threads used by the staged apply phase: single-pattern match batches
+    /// are staged against the read-only iteration-start e-graph across
+    /// scoped threads ([`tensat_egraph::stage_matches_parallel`]) and
+    /// committed in one deterministic sequential pass, so — like
+    /// `search_threads` — this only affects wall-clock time, never the
+    /// outcome. `None` (the default, unless `TENSAT_APPLY_THREADS` is set)
+    /// follows `search_threads`; see
+    /// [`ExplorationConfig::resolved_apply_threads`].
+    pub apply_threads: Option<usize>,
+    /// Wires the incremental-search watermark through the multi-pattern
+    /// Cartesian product: combinations whose elements *all* predate the
+    /// previous iteration's watermark were already applied (or rejected)
+    /// and are skipped, while stale × fresh combinations — new even though
+    /// one side is old — still fire. Outcome-preserving (the engine falls
+    /// back to a full search whenever a cycle-filter event could have
+    /// invalidated the cache); only the first `k_multi` iterations are
+    /// affected, so the default configuration (`k_multi = 1`) never skips.
+    pub incremental_multi: bool,
     /// Which exploration strategy [`explore`] dispatches to.
     pub mode: ExplorationMode,
     /// Cost model used by strategies that score candidate states
@@ -178,11 +196,21 @@ impl Default for ExplorationConfig {
             time_limit: defaults::TIME_LIMIT,
             cycle_filter: CycleFilter::Efficient,
             search_threads: default_search_threads(),
+            apply_threads: tensat_egraph::apply_threads_from_env(),
+            incremental_multi: false,
             mode: ExplorationMode::from_env().unwrap_or(ExplorationMode::Saturate),
             cost_model: CostModel::default(),
             guided: GuidedConfig::default(),
             taso: TasoConfig::default(),
         }
+    }
+}
+
+impl ExplorationConfig {
+    /// The apply-phase thread count after resolving the default:
+    /// `apply_threads` when set, otherwise `search_threads`.
+    pub fn resolved_apply_threads(&self) -> usize {
+        self.apply_threads.unwrap_or(self.search_threads).max(1)
     }
 }
 
@@ -211,6 +239,20 @@ pub struct ExplorationStats {
     pub filtered_nodes: usize,
     /// Total wall-clock time of the exploration phase.
     pub time: Duration,
+    /// Time spent in the e-matching search phase, summed over iterations.
+    /// Filled in by [`Saturate`]'s engine iterations; strategies with no
+    /// phase structure ([`Guided`], [`TasoBacktracking`]) leave it zero.
+    pub search_time: Duration,
+    /// Time spent staging and committing rewrite applications, summed over
+    /// iterations (same caveat as `search_time`).
+    pub apply_time: Duration,
+    /// Time spent rebuilding and cycle-filtering, summed over iterations
+    /// (same caveat as `search_time`).
+    pub rebuild_time: Duration,
+    /// Multi-pattern Cartesian combinations skipped because every element
+    /// predates the incremental watermark (see
+    /// [`ExplorationConfig::incremental_multi`]).
+    pub multi_stale_skipped: usize,
     /// E-node count after each iteration.
     pub nodes_per_iteration: Vec<usize>,
     /// Name of the strategy that produced these statistics (filled in by

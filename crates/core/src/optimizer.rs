@@ -109,6 +109,11 @@ pub struct OptimizerConfig {
     /// wall-clock time). Defaults to
     /// [`default_search_threads`].
     pub search_threads: usize,
+    /// Threads used by the staged apply+rebuild phase (`None` follows
+    /// `search_threads`; the staged commit is bit-identical across thread
+    /// counts, so this only affects wall-clock time). Defaults to the
+    /// `TENSAT_APPLY_THREADS` environment override when set.
+    pub apply_threads: Option<usize>,
     /// Which exploration strategy to run (saturate-all, guided beam
     /// search, or the TASO backtracking baseline).
     pub exploration: ExplorationMode,
@@ -145,6 +150,7 @@ impl Default for OptimizerConfig {
             exploration_time_limit: defaults::TIME_LIMIT,
             cycle_filter: CycleFilter::Efficient,
             search_threads: default_search_threads(),
+            apply_threads: tensat_egraph::apply_threads_from_env(),
             exploration: ExplorationMode::from_env().unwrap_or(ExplorationMode::Saturate),
             guided: GuidedConfig::default(),
             taso: TasoConfig::default(),
@@ -169,6 +175,8 @@ impl OptimizerConfig {
             time_limit: self.exploration_time_limit,
             cycle_filter: self.cycle_filter,
             search_threads: self.search_threads,
+            apply_threads: self.apply_threads,
+            incremental_multi: false,
             mode: self.exploration,
             cost_model: self.cost_model.clone(),
             guided: self.guided.clone(),
@@ -482,6 +490,7 @@ mod tests {
             exploration_time_limit: Duration::from_millis(250),
             cycle_filter: CycleFilter::Vanilla,
             search_threads: 2,
+            apply_threads: Some(5),
             exploration: ExplorationMode::Guided,
             ..Default::default()
         }
@@ -492,6 +501,8 @@ mod tests {
         assert_eq!(derived.time_limit, Duration::from_millis(250));
         assert_eq!(derived.cycle_filter, CycleFilter::Vanilla);
         assert_eq!(derived.search_threads, 2);
+        assert_eq!(derived.apply_threads, Some(5));
+        assert_eq!(derived.resolved_apply_threads(), 5);
         assert_eq!(derived.mode, ExplorationMode::Guided);
     }
 

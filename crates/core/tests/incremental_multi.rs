@@ -1,0 +1,172 @@
+//! Watermark-honesty property test of the incremental multi-pattern
+//! search (Algorithm 1's Cartesian product with per-pattern match
+//! caching).
+//!
+//! The incremental path may only skip a combination when *every* element
+//! is stale — a combination pairing a stale match with a fresh one is
+//! brand new even though one side is old, and must fire. Every random
+//! graph here ends in a quiet `relu` (never re-touched after the first
+//! tracked rebuild conservatively stamps everything) and a `tanh` the
+//! `tanh-grow` churn rule keeps feeding with fresh bindings, so the
+//! stale-relu x fresh-tanh case is exercised on every run alongside
+//! whatever the random prefix produces. Incremental search must be
+//! bit-identical to full search on every observable: iteration
+//! trajectory, e-graph counts, per-rule match sets, and greedy-DAG
+//! extraction.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use tensat_core::{
+    explore, extract_greedy_dag, ExplorationConfig, ExplorationMode, ExplorationStats,
+};
+use tensat_egraph::RecExpr;
+use tensat_ir::{CostModel, GraphBuilder, TensorAnalysis, TensorEGraph, TensorLang};
+use tensat_rules::{rw, MultiPatternRule, TensorRewrite};
+
+/// A random graph-building step over `[8, 8]` tensors; operand indices
+/// pick among earlier nodes modulo the current length, so any `usize` is
+/// valid.
+#[derive(Debug, Clone)]
+enum Op {
+    Relu(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    Ewadd(usize, usize),
+    Ewmul(usize, usize),
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<usize>().prop_map(Op::Relu),
+            any::<usize>().prop_map(Op::Tanh),
+            any::<usize>().prop_map(Op::Sigmoid),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Ewadd(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Ewmul(a, b)),
+        ],
+        0..max_len,
+    )
+}
+
+/// Builds the random prefix over two `[8, 8]` inputs, then appends the
+/// quiet-relu / growing-tanh pair that guarantees a stale x fresh
+/// combination. Every node is an output, so nothing is dead.
+fn build_graph(ops: &[Op]) -> RecExpr<TensorLang> {
+    let mut g = GraphBuilder::new();
+    let mut ids = vec![g.input("p", &[8, 8]), g.input("q", &[8, 8])];
+    for op in ops {
+        let pick = |r: &usize| ids[r % ids.len()];
+        let id = match op {
+            Op::Relu(a) => {
+                let x = pick(a);
+                g.relu(x)
+            }
+            Op::Tanh(a) => {
+                let x = pick(a);
+                g.tanh(x)
+            }
+            Op::Sigmoid(a) => {
+                let x = pick(a);
+                g.sigmoid(x)
+            }
+            Op::Ewadd(a, b) => {
+                let (x, y) = (pick(a), pick(b));
+                g.ewadd(x, y)
+            }
+            Op::Ewmul(a, b) => {
+                let (x, y) = (pick(a), pick(b));
+                g.ewmul(x, y)
+            }
+        };
+        ids.push(id);
+    }
+    let p = ids[0];
+    let q = ids[1];
+    let r = g.relu(p);
+    let t = g.tanh(q);
+    ids.push(r);
+    ids.push(t);
+    g.finish(&ids)
+}
+
+fn seeded(graph: &RecExpr<TensorLang>) -> (TensorEGraph, tensat_egraph::Id) {
+    let mut eg = TensorEGraph::new(TensorAnalysis);
+    let root = eg.add_expr(graph);
+    eg.rebuild();
+    (eg, root)
+}
+
+/// Every deterministic [`ExplorationStats`] field (wall-clock timings are
+/// the one legitimately nondeterministic output).
+fn trajectory(stats: &ExplorationStats) -> (usize, bool, usize, usize, usize, Vec<usize>) {
+    (
+        stats.iterations,
+        stats.saturated,
+        stats.enodes,
+        stats.eclasses,
+        stats.filtered_nodes,
+        stats.nodes_per_iteration.clone(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn incremental_multi_search_is_bit_identical_to_full_search(
+        ops in ops_strategy(10),
+        with_comm in any::<bool>(),
+        k_multi in 2usize..=4,
+        node_limit in 400usize..2_000,
+    ) {
+        let graph = build_graph(&ops);
+
+        let mut singles: Vec<TensorRewrite> =
+            vec![rw("tanh-grow", "(tanh ?y)", "(tanh (ewmul ?y ?y))")];
+        if with_comm {
+            singles.push(rw("ewadd-commute", "(ewadd ?a ?b)", "(ewadd ?b ?a)"));
+        }
+        let multis = vec![
+            MultiPatternRule::new(
+                "quiet-pair",
+                &["(relu ?x)", "(tanh ?y)"],
+                &["(relu ?x)", "(tanh ?y)"],
+            ),
+            MultiPatternRule::new(
+                "stale-fresh-pair",
+                &["(relu ?x)", "(tanh ?y)"],
+                &["(relu ?x)", "(sigmoid (ewadd ?x ?y))"],
+            ),
+        ];
+        let config = |incremental_multi: bool| ExplorationConfig {
+            mode: ExplorationMode::Saturate,
+            k_multi,
+            max_iter: k_multi + 2,
+            node_limit,
+            time_limit: Duration::from_secs(600),
+            search_threads: 1,
+            apply_threads: Some(1),
+            incremental_multi,
+            ..Default::default()
+        };
+
+        let (mut full_eg, full_root) = seeded(&graph);
+        let full = explore(&mut full_eg, full_root, &singles, &multis, &config(false));
+        let (mut inc_eg, inc_root) = seeded(&graph);
+        let inc = explore(&mut inc_eg, inc_root, &singles, &multis, &config(true));
+
+        // Full search never consults the cache, so it can never skip.
+        prop_assert_eq!(full.multi_stale_skipped, 0);
+        prop_assert_eq!(trajectory(&full), trajectory(&inc));
+        prop_assert_eq!(full_eg.total_number_of_nodes(), inc_eg.total_number_of_nodes());
+        prop_assert_eq!(full_eg.number_of_classes(), inc_eg.number_of_classes());
+        prop_assert_eq!(full_eg.union_count(), inc_eg.union_count());
+        for r in &singles {
+            prop_assert_eq!(r.search(&full_eg), r.search(&inc_eg), "rule {}", &r.name);
+        }
+
+        let model = CostModel::default();
+        let full_dag = extract_greedy_dag(&full_eg, full_root, &model).unwrap();
+        let inc_dag = extract_greedy_dag(&inc_eg, inc_root, &model).unwrap();
+        prop_assert_eq!(full_dag.expr.nodes(), inc_dag.expr.nodes());
+        prop_assert_eq!(full_dag.dag_cost, inc_dag.dag_cost);
+    }
+}

@@ -83,8 +83,11 @@ pub use pattern::{
     search_all_since_parallel, ENodeOrVar, Pattern, SearchMatches, Subst, Var,
 };
 pub use recexpr::RecExpr;
-pub use rewrite::{Condition, Rewrite};
-pub use runner::{explorer_from_env, search_threads_from_env, Iteration, Runner, StopReason};
+pub use rewrite::{stage_matches_parallel, ApplyLog, Condition, Rewrite, StagedApp};
+pub use runner::{
+    apply_threads_from_env, explorer_from_env, search_threads_from_env, Iteration, Runner,
+    StopReason,
+};
 pub use unionfind::UnionFind;
 
 /// A tiny arithmetic language exported solely so that doc examples across

@@ -4,9 +4,11 @@
 //! part into the e-matching machine.
 
 use crate::machine::{Guard, GuardedProgram, SearchQuery};
+use crate::pattern::ENodeOrVar;
 use crate::{Analysis, EGraph, Id, Language, Pattern, SearchMatches, Subst, Var};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A side condition evaluated on each match before the rewrite is applied.
 ///
@@ -216,6 +218,234 @@ impl<L: Language, N: Analysis<L>> Rewrite<L, N> {
         let matches = self.search(egraph);
         self.apply(egraph, &matches)
     }
+
+    /// Stages one application against a *read-only* e-graph: evaluates the
+    /// side condition and, if it passes, symbolically instantiates the
+    /// right-hand side into a [`StagedApp`] without mutating anything.
+    /// Returns `None` when the condition rejects the match.
+    ///
+    /// `base` must be the e-graph's [`EGraph::id_space_size`] at staging
+    /// time; see [`ApplyLog`] for the planned-id encoding. Committing the
+    /// staged applications in staging order ([`EGraph::commit_staged`])
+    /// reproduces the exact `add`/`union` sequence of
+    /// [`Rewrite::apply_capped`] over the same matches.
+    pub fn stage(
+        &self,
+        egraph: &EGraph<L, N>,
+        eclass: Id,
+        subst: &Subst,
+        base: usize,
+    ) -> Option<StagedApp<L>> {
+        if let Some(cond) = &self.condition {
+            if !cond(egraph, eclass, subst) {
+                return None;
+            }
+        }
+        Some(self.applier.stage(eclass, subst, base))
+    }
+}
+
+/// One staged rewrite application: the right-hand side instantiated
+/// *symbolically* (no e-graph mutation, no memo probes) plus the union
+/// request — the `AddLog`/`UnionLog` pair a parallel apply worker emits.
+///
+/// Children of the staged e-nodes use the planned-id encoding described on
+/// [`ApplyLog`]: an id below the log's `base` names an existing e-class
+/// (taken verbatim from the substitution), an id at or above it names an
+/// earlier entry of `adds` within this same application.
+#[derive(Debug, Clone)]
+pub struct StagedApp<L> {
+    /// The instantiated right-hand-side e-nodes, in applier AST order
+    /// (children before parents). Committing replays one [`EGraph::add`]
+    /// per entry, in order.
+    pub adds: Vec<L>,
+    /// The e-class the left-hand side matched in; committing unions it
+    /// with the resolved `root`.
+    pub eclass: Id,
+    /// The root of the instantiated right-hand side, in planned-id
+    /// encoding.
+    pub root: Id,
+    /// The e-classes the substitution bound to the applier's variables,
+    /// one entry per variable *occurrence* in the applier AST (raw ids;
+    /// canonicalize at commit time). Cycle filters use these to run their
+    /// leaf-reaches-root check against the evolving e-graph at commit
+    /// time, exactly where the in-place apply loop ran it.
+    pub bound: Vec<Id>,
+}
+
+/// A deterministic log of staged applications, ready for a single
+/// sequential commit pass ([`EGraph::commit_log`]).
+///
+/// `base` is the e-graph's [`EGraph::id_space_size`] when the batch was
+/// staged. Every id the e-graph had then is below `base`, so staged nodes
+/// can mix existing ids with *planned* ids (`base + k` names the `k`-th
+/// `adds` entry of the owning [`StagedApp`]) without ambiguity; the commit
+/// pass resolves planned ids to the real ids [`EGraph::add`] returns.
+#[derive(Debug, Clone)]
+pub struct ApplyLog<L> {
+    /// Id-space size at staging time; planned ids start here.
+    pub base: usize,
+    /// Staged applications in batch order (rule-major, then match order) —
+    /// the order the sequential apply loop would have used.
+    pub apps: Vec<StagedApp<L>>,
+}
+
+impl<L: Language> Pattern<L> {
+    /// Symbolically instantiates the pattern as a rewrite right-hand side
+    /// under `subst`, producing a [`StagedApp`] instead of mutating an
+    /// e-graph — the staging half of [`Pattern::apply_one`]. `base` is the
+    /// planned-id origin (see [`ApplyLog`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern variable is unbound in `subst` (as
+    /// [`Pattern::instantiate`] would).
+    pub fn stage(&self, eclass: Id, subst: &Subst, base: usize) -> StagedApp<L> {
+        let mut ids: Vec<Id> = Vec::with_capacity(self.ast.len());
+        let mut adds: Vec<L> = Vec::new();
+        let mut bound: Vec<Id> = Vec::new();
+        for (_, node) in self.ast.iter() {
+            let id = match node {
+                ENodeOrVar::Var(v) => {
+                    let b = subst
+                        .get(*v)
+                        .unwrap_or_else(|| panic!("unbound pattern variable {v}"));
+                    bound.push(b);
+                    b
+                }
+                ENodeOrVar::ENode(n) => {
+                    let planned = Id::from(base + adds.len());
+                    adds.push(n.map_children(|c| ids[usize::from(c)]));
+                    planned
+                }
+            };
+            ids.push(id);
+        }
+        StagedApp {
+            adds,
+            eclass,
+            root: *ids.last().expect("pattern is non-empty"),
+            bound,
+        }
+    }
+}
+
+/// Work-chunk granularity of [`stage_matches_parallel`]: more chunks than
+/// threads so workers load-balance when condition costs are skewed across
+/// the batch (same rationale as the sharded search driver).
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Stages a whole gathered match batch — `(rule, match list)` pairs, in
+/// apply order — against a read-only e-graph, sharding the flattened
+/// candidate list across `n_threads` scoped worker threads. Each worker
+/// evaluates conditions and instantiates right-hand sides into a private
+/// per-chunk log; the chunk logs are then merged in chunk order (worker
+/// index is irrelevant: chunks partition the flat candidate list
+/// contiguously), so the returned [`ApplyLog`] is **bit-identical for any
+/// thread count** — each candidate's staging is a pure function of the
+/// batch-start e-graph.
+///
+/// `should_stop` (when given) is polled before every candidate — the
+/// staging-time analogue of the in-place apply loop's per-candidate
+/// wall-clock check; once it returns true, workers stop staging further
+/// candidates. Like any time limit, it makes the *cut-off point*
+/// nondeterministic, never the staged content before it.
+///
+/// Side conditions run here, against the batch-start e-graph, rather than
+/// interleaved with earlier applications of the same batch. This is
+/// outcome-preserving for conditions that are *batch-stable*: pure
+/// functions of the matched classes whose verdict is not flipped by the
+/// unions and adds of the same batch (TENSAT's shape checks qualify —
+/// rules only union shape-compatible classes, so mid-batch merges never
+/// change a bound class's shape data). The determinism test battery
+/// (proptests plus the all-benchmarks differential suite) enforces this
+/// equivalence against the in-place sequential oracle.
+///
+/// # Panics
+///
+/// Debug-asserts the e-graph is clean, like the search drivers: matches
+/// are gathered on a clean e-graph, and staging reads the same snapshot.
+pub fn stage_matches_parallel<L, N>(
+    batch: &[(&Rewrite<L, N>, &[SearchMatches])],
+    egraph: &EGraph<L, N>,
+    n_threads: usize,
+    should_stop: Option<&(dyn Fn() -> bool + Sync)>,
+) -> ApplyLog<L>
+where
+    L: Language + Send + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    debug_assert!(
+        egraph.is_clean(),
+        "stage_matches_parallel requires a clean e-graph"
+    );
+    let base = egraph.id_space_size();
+    // Flatten to (rule index, matched class, substitution) in apply order.
+    let candidates: Vec<(usize, Id, &Subst)> = batch
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, (_, matches))| {
+            matches
+                .iter()
+                .flat_map(move |m| m.substs.iter().map(move |s| (ri, m.eclass, s)))
+        })
+        .collect();
+    let total = candidates.len();
+
+    let stage_range = |range: std::ops::Range<usize>, apps: &mut Vec<StagedApp<L>>| -> bool {
+        for &(ri, eclass, subst) in &candidates[range] {
+            if should_stop.is_some_and(|stop| stop()) {
+                return false;
+            }
+            if let Some(app) = batch[ri].0.stage(egraph, eclass, subst, base) {
+                apps.push(app);
+            }
+        }
+        true
+    };
+
+    let n_threads = {
+        // Same clamp as the search driver: never more workers than the
+        // machine can run, never more than one per candidate.
+        let max_workers = std::thread::available_parallelism().map_or(4, |n| n.get() * 4);
+        n_threads.min(max_workers).min(total.max(1))
+    };
+    if n_threads <= 1 {
+        let mut apps = Vec::new();
+        stage_range(0..total, &mut apps);
+        return ApplyLog { base, apps };
+    }
+
+    let chunk_size = total.div_ceil(n_threads * CHUNKS_PER_THREAD).max(1);
+    let n_chunks = total.div_ceil(chunk_size);
+    let slots: Vec<OnceLock<Vec<StagedApp<L>>>> = (0..n_chunks).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                break;
+            }
+            let start = i * chunk_size;
+            let end = (start + chunk_size).min(total);
+            let mut apps = Vec::new();
+            stage_range(start..end, &mut apps);
+            let _ = slots[i].set(apps);
+        };
+        for _ in 1..n_threads {
+            scope.spawn(worker);
+        }
+        // The calling thread is the last worker.
+        worker();
+    });
+
+    // Deterministic merge: chunk order *is* flat candidate order.
+    let mut apps = Vec::new();
+    for slot in slots {
+        apps.extend(slot.into_inner().unwrap_or_default());
+    }
+    ApplyLog { base, apps }
 }
 
 #[cfg(test)]

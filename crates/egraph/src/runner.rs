@@ -2,7 +2,8 @@
 //! is hit, recording per-iteration statistics.
 
 use crate::pattern::search_all_guarded_since_parallel;
-use crate::{Analysis, EGraph, Language, RecExpr, Rewrite};
+use crate::rewrite::stage_matches_parallel;
+use crate::{Analysis, EGraph, Language, RecExpr, Rewrite, SearchMatches};
 use std::fmt::Debug;
 use std::time::{Duration, Instant};
 
@@ -14,10 +15,23 @@ use std::time::{Duration, Instant};
 /// search path without code changes), as does
 /// `tensat_core::ExplorationConfig`'s default.
 pub fn search_threads_from_env() -> Option<usize> {
-    parse_search_threads(&std::env::var("TENSAT_SEARCH_THREADS").ok()?)
+    parse_thread_count(&std::env::var("TENSAT_SEARCH_THREADS").ok()?)
 }
 
-fn parse_search_threads(raw: &str) -> Option<usize> {
+/// Reads the `TENSAT_APPLY_THREADS` environment variable: the number of
+/// threads the staged apply phase ([`stage_matches_parallel`]) should use.
+/// Returns `None` when the variable is unset or does not parse to a
+/// positive integer — in which case the apply phase follows the search
+/// thread setting.
+///
+/// Consulted at [`Runner`] construction and by
+/// `tensat_core::ExplorationConfig`'s default, like
+/// [`search_threads_from_env`].
+pub fn apply_threads_from_env() -> Option<usize> {
+    parse_thread_count(&std::env::var("TENSAT_APPLY_THREADS").ok()?)
+}
+
+fn parse_thread_count(raw: &str) -> Option<usize> {
     raw.trim().parse().ok().filter(|&n| n >= 1)
 }
 
@@ -112,13 +126,17 @@ pub struct Runner<L: Language, N: Analysis<L>> {
     time_limit: Duration,
     incremental: bool,
     search_threads: usize,
+    apply_threads: Option<usize>,
 }
 
 impl<L: Language, N: Analysis<L>> Runner<L, N> {
     /// Creates a runner with an empty e-graph and default limits
     /// (30 iterations, 10 000 e-nodes, 5 seconds). The search thread count
     /// defaults to the `TENSAT_SEARCH_THREADS` environment variable if set
-    /// (see [`search_threads_from_env`]), otherwise 1 (sequential).
+    /// (see [`search_threads_from_env`]), otherwise 1 (sequential); the
+    /// apply thread count defaults to `TENSAT_APPLY_THREADS` if set
+    /// ([`apply_threads_from_env`]), otherwise it follows the search
+    /// setting.
     pub fn new(analysis: N) -> Self {
         Self::with_egraph(EGraph::new(analysis))
     }
@@ -135,6 +153,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             time_limit: Duration::from_secs(5),
             incremental: false,
             search_threads: search_threads_from_env().unwrap_or(1),
+            apply_threads: apply_threads_from_env(),
         }
     }
 
@@ -196,6 +215,18 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
         self
     }
 
+    /// Sets the number of threads used by the staged apply phase of
+    /// [`Runner::run`]. Matches are staged against the read-only batch-start
+    /// e-graph across scoped threads ([`stage_matches_parallel`]) and
+    /// committed sequentially in deterministic order, so — like the search
+    /// setting — this only changes wall-clock time, never the outcome.
+    /// Unset (the default, unless `TENSAT_APPLY_THREADS` is in the
+    /// environment) follows the search thread count.
+    pub fn with_apply_threads(mut self, n_threads: usize) -> Self {
+        self.apply_threads = Some(n_threads.max(1));
+        self
+    }
+
     /// Forks this runner: a fresh runner over a [`EGraph::snapshot`] of the
     /// e-graph with the same roots and limits but no recorded history.
     /// This is the snapshot/replay primitive guided exploration strategies
@@ -215,6 +246,7 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             time_limit: self.time_limit,
             incremental: self.incremental,
             search_threads: self.search_threads,
+            apply_threads: self.apply_threads,
         }
     }
 
@@ -247,29 +279,54 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
 
 impl<L, N> Runner<L, N>
 where
-    L: Language + Sync,
+    L: Language + Send + Sync,
     N: Analysis<L> + Sync,
     N::Data: Sync,
 {
     /// Runs equality saturation with the given rewrites until saturation or
     /// a limit is reached. Returns the stop reason.
     ///
-    /// (The `Sync` bounds let the search phase shard the read-only e-graph
-    /// across threads when [`Runner::with_search_threads`] is above 1; every
-    /// [`Language`] and [`Analysis`] in this workspace is plain data and
-    /// satisfies them. A non-`Sync` language or analysis can still saturate
-    /// via [`Runner::run_sequential`].)
+    /// Both phases of each iteration can use threads: search shards
+    /// candidate classes ([`Runner::with_search_threads`]) and apply stages
+    /// the match batch into per-worker logs against the read-only e-graph
+    /// ([`Runner::with_apply_threads`], via [`stage_matches_parallel`])
+    /// before one deterministic sequential commit pass
+    /// ([`EGraph::commit_log`]) and the usual worklist rebuild. Both are
+    /// bit-identical to their sequential counterparts for any thread count.
+    ///
+    /// (The `Sync` bounds let those phases shard the read-only e-graph
+    /// across threads; every [`Language`] and [`Analysis`] in this
+    /// workspace is plain data and satisfies them. A non-`Sync` language or
+    /// analysis can still saturate via [`Runner::run_sequential`].)
     pub fn run(&mut self, rewrites: &[Rewrite<L, N>]) -> StopReason {
         let n_threads = self.search_threads;
-        self.run_with_search(rewrites, |egraph, rewrites, watermark| {
-            // The batch driver dispatches itself: with one thread it is the
-            // per-pattern sequential search verbatim (and a watermark of 0
-            // is a full search, so `None` needs no special case). Each
-            // rewrite contributes its guarded program when it carries
-            // analysis guards, its plain pattern program otherwise.
-            let queries: Vec<_> = rewrites.iter().map(|rw| rw.searcher_query()).collect();
-            search_all_guarded_since_parallel(&queries, egraph, watermark.unwrap_or(0), n_threads)
-        })
+        let apply_threads = self.apply_threads.unwrap_or(n_threads);
+        self.run_with_phases(
+            rewrites,
+            |egraph, rewrites, watermark| {
+                // The batch driver dispatches itself: with one thread it is
+                // the per-pattern sequential search verbatim (and a
+                // watermark of 0 is a full search, so `None` needs no
+                // special case). Each rewrite contributes its guarded
+                // program when it carries analysis guards, its plain
+                // pattern program otherwise.
+                let queries: Vec<_> = rewrites.iter().map(|rw| rw.searcher_query()).collect();
+                search_all_guarded_since_parallel(
+                    &queries,
+                    egraph,
+                    watermark.unwrap_or(0),
+                    n_threads,
+                )
+            },
+            |egraph, rewrites, all_matches, node_limit| {
+                let batch: Vec<_> = rewrites
+                    .iter()
+                    .zip(all_matches.iter().map(Vec::as_slice))
+                    .collect();
+                let log = stage_matches_parallel(&batch, egraph, apply_threads, None);
+                egraph.commit_log(&log, node_limit)
+            },
+        )
     }
 }
 
@@ -288,21 +345,51 @@ fn sequential_search<L: Language, N: Analysis<L>>(
         .collect()
 }
 
+/// One in-place sequential apply pass: the pre-staging apply phase, kept
+/// as the non-`Sync` fallback (and, via the test battery, the oracle the
+/// staged path is proven bit-identical against).
+fn sequential_apply<L: Language, N: Analysis<L>>(
+    egraph: &mut EGraph<L, N>,
+    rewrites: &[Rewrite<L, N>],
+    all_matches: &[Vec<SearchMatches>],
+    node_limit: usize,
+) -> (usize, bool) {
+    let mut applied = 0;
+    for (rw, matches) in rewrites.iter().zip(all_matches) {
+        let (n, hit) = rw.apply_capped(egraph, matches, node_limit);
+        applied += n;
+        if hit {
+            return (applied, true);
+        }
+    }
+    (applied, false)
+}
+
 impl<L: Language, N: Analysis<L>> Runner<L, N> {
-    /// Like [`Runner::run`] with one search thread, but without the `Sync`
-    /// bounds: languages or analyses containing non-`Sync` data (e.g. `Rc`
-    /// caches) can still run equality saturation — they just cannot shard
-    /// the search. [`Runner::with_search_threads`] is ignored here.
+    /// Like [`Runner::run`] with one search/apply thread, but without the
+    /// `Sync` bounds: languages or analyses containing non-`Sync` data
+    /// (e.g. `Rc` caches) can still run equality saturation — they just
+    /// cannot shard the search or stage the apply phase across threads.
+    /// [`Runner::with_search_threads`] and [`Runner::with_apply_threads`]
+    /// are ignored here.
     pub fn run_sequential(&mut self, rewrites: &[Rewrite<L, N>]) -> StopReason {
-        self.run_with_search(rewrites, sequential_search)
+        self.run_with_phases(rewrites, sequential_search, sequential_apply)
     }
 
-    /// The saturation loop, parameterized over the search phase (which is
-    /// the only part that needs `Sync` to parallelize).
-    fn run_with_search(
+    /// The saturation loop, parameterized over the search and apply phases
+    /// (the two parts that need `Sync` to parallelize). The apply callback
+    /// consumes the whole match batch and returns `(effective applications,
+    /// hit node limit)`, with the limit checked per application.
+    fn run_with_phases(
         &mut self,
         rewrites: &[Rewrite<L, N>],
-        search: impl Fn(&EGraph<L, N>, &[Rewrite<L, N>], Option<u64>) -> Vec<Vec<crate::SearchMatches>>,
+        search: impl Fn(&EGraph<L, N>, &[Rewrite<L, N>], Option<u64>) -> Vec<Vec<SearchMatches>>,
+        apply: impl Fn(
+            &mut EGraph<L, N>,
+            &[Rewrite<L, N>],
+            &[Vec<SearchMatches>],
+            usize,
+        ) -> (usize, bool),
     ) -> StopReason {
         let start = Instant::now();
         self.egraph.rebuild();
@@ -335,16 +422,8 @@ impl<L: Language, N: Analysis<L>> Runner<L, N> {
             let unions_before = self.egraph.union_count();
 
             let apply_start = Instant::now();
-            let mut applied = 0;
-            let mut hit_node_limit = false;
-            for (rw, matches) in rewrites.iter().zip(&all_matches) {
-                let (n, hit) = rw.apply_capped(&mut self.egraph, matches, self.node_limit);
-                applied += n;
-                if hit {
-                    hit_node_limit = true;
-                    break;
-                }
-            }
+            let (applied, hit_node_limit) =
+                apply(&mut self.egraph, rewrites, &all_matches, self.node_limit);
             let apply_time = apply_start.elapsed();
 
             let rebuild_start = Instant::now();
@@ -615,15 +694,41 @@ mod tests {
     }
 
     #[test]
-    fn search_threads_env_parsing() {
-        // Exercise the parser directly rather than via `set_var` (tests run
-        // concurrently; mutating the environment would race with other
+    fn thread_count_env_parsing() {
+        // Exercise the parser (shared by TENSAT_SEARCH_THREADS and
+        // TENSAT_APPLY_THREADS) directly rather than via `set_var` (tests
+        // run concurrently; mutating the environment would race with other
         // `Runner::new` calls reading it).
-        assert_eq!(parse_search_threads("4"), Some(4));
-        assert_eq!(parse_search_threads(" 16\n"), Some(16));
-        assert_eq!(parse_search_threads("0"), None, "0 threads is rejected");
-        assert_eq!(parse_search_threads("auto"), None);
-        assert_eq!(parse_search_threads(""), None);
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 16\n"), Some(16));
+        assert_eq!(parse_thread_count("0"), None, "0 threads is rejected");
+        assert_eq!(parse_thread_count("auto"), None);
+        assert_eq!(parse_thread_count(""), None);
+    }
+
+    /// The staged apply path must be bit-identical to the in-place
+    /// sequential apply loop for any apply thread count: identical
+    /// per-iteration stats and identical extraction results.
+    #[test]
+    fn staged_parallel_apply_matches_sequential_apply() {
+        let mut baseline = Runner::new(()).with_expr(&start_expr());
+        assert_eq!(baseline.run_sequential(&rules()), StopReason::Saturated);
+        for threads in [1, 4] {
+            let mut staged = Runner::new(())
+                .with_expr(&start_expr())
+                .with_apply_threads(threads);
+            assert_eq!(staged.run(&rules()), StopReason::Saturated);
+            assert_eq!(baseline.iterations.len(), staged.iterations.len());
+            for (s, p) in baseline.iterations.iter().zip(&staged.iterations) {
+                assert_eq!(s.applied, p.applied, "threads={threads}");
+                assert_eq!(s.total_matches, p.total_matches, "threads={threads}");
+                assert_eq!(s.egraph_nodes, p.egraph_nodes, "threads={threads}");
+                assert_eq!(s.egraph_classes, p.egraph_classes, "threads={threads}");
+            }
+            let ex = Extractor::new(&staged.egraph, AstSize);
+            let (cost, best) = ex.find_best(staged.roots[0]).unwrap();
+            assert_eq!((cost, best.to_string().as_str()), (1, "a"));
+        }
     }
 
     /// `run_sequential` must keep working for non-`Sync` analyses (the
