@@ -42,7 +42,7 @@ fn main() {
                     cycle_constraints: cycle,
                     integer_topo_vars: int,
                     time_limit: ilp_time_limit,
-                    warm_start_with_greedy: true,
+                    ..Default::default()
                 };
                 match extract_ilp(&eg, root, &model, &cfg) {
                     Ok(out) => out

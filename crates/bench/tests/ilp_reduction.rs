@@ -1,0 +1,141 @@
+//! Acceptance tests of the ILP problem-reduction pipeline on the real
+//! benchmark models (the ISSUE-10 tentpole): on every `BENCHMARKS` model,
+//! reduced exact extraction must return the *same optimal cost* as the
+//! monolithic §5.1 oracle — and do it fast.
+//!
+//! 1. **Differential optimality** — on the bench-scale grown e-graph of
+//!    every model, `extract_ilp` with reduction on and off both reach
+//!    `Optimal` and agree on `dag_cost` to 1e-9, the reduction's
+//!    "before" stats equal the monolithic encoding's size, and the
+//!    residual problem never grows.
+//! 2. **Per-model time budget** — the reduced solve completes within a
+//!    generous per-model wall-clock budget. The release budget (5 s) is
+//!    ~6x the worst observed time on the single-core dev container
+//!    (BERT ≈ 0.8 s; every other model is milliseconds), so it trips on
+//!    an order-of-magnitude regression — the pre-reduction BERT solve
+//!    took ~34–47 s — without flaking on machine noise.
+//!
+//! Profile awareness: CI runs this test in *release* (the budget step in
+//! the full job), where every assertion is live. Under `cargo test`'s
+//! debug profile the solver is roughly an order of magnitude slower, so
+//! the budget scales up and the *monolithic oracle* — whose whole point
+//! is to be the slow encoding — is skipped for the largest models (it
+//! exhausts its node budget before proving optimality in debug; the
+//! release run is the proof).
+//!
+//! The growth recipe (2 iterations, 20k node limit, default scale)
+//! mirrors `bench_report` so the numbers asserted here are the numbers
+//! `BENCH_egraph.json` archives.
+
+use std::time::{Duration, Instant};
+use tensat_core::{explore, extract_ilp, ExplorationConfig, IlpConfig};
+use tensat_ilp::Status;
+use tensat_ir::{CostModel, TensorAnalysis, TensorEGraph};
+use tensat_models::{build_benchmark, ModelScale, BENCHMARKS};
+use tensat_rules::single_rules;
+
+/// Wall-clock budget per model for the *reduced* ILP extraction (scaled
+/// up under the debug profile; see the module docs).
+const PER_MODEL_BUDGET: Duration = if cfg!(debug_assertions) {
+    Duration::from_secs(60)
+} else {
+    Duration::from_secs(5)
+};
+
+/// Monolithic encodings above this size are only solved as the oracle in
+/// release builds (in debug the §5.1 encoding of BERT exhausts the
+/// solver's node budget without proving optimality — which is the very
+/// slowness the reduction pipeline exists to remove).
+const DEBUG_ORACLE_VAR_LIMIT: usize = 150;
+
+fn grown(model: &str) -> (TensorEGraph, tensat_egraph::Id) {
+    let rules = single_rules();
+    let graph = build_benchmark(model, ModelScale::default());
+    let mut eg = TensorEGraph::new(TensorAnalysis);
+    let root = eg.add_expr(&graph);
+    eg.rebuild();
+    explore(
+        &mut eg,
+        root,
+        &rules,
+        &[],
+        &ExplorationConfig {
+            max_iter: 2,
+            node_limit: 20_000,
+            search_threads: 1,
+            ..Default::default()
+        },
+    );
+    (eg, root)
+}
+
+#[test]
+fn reduced_ilp_is_optimal_and_within_budget_on_every_benchmark_model() {
+    let model = CostModel::default();
+    for name in BENCHMARKS {
+        let (eg, root) = grown(name);
+
+        let start = Instant::now();
+        let reduced = extract_ilp(&eg, root, &model, &IlpConfig::default())
+            .unwrap_or_else(|e| panic!("reduced ILP failed on {name}: {e}"));
+        let elapsed = start.elapsed();
+
+        let rs = reduced.ilp.as_ref().unwrap();
+        assert_eq!(rs.status, Status::Optimal, "{name}: reduced not optimal");
+
+        if cfg!(debug_assertions) && rs.vars_before > DEBUG_ORACLE_VAR_LIMIT {
+            eprintln!(
+                "[ilp-reduction] {name}: skipping the monolithic oracle in debug \
+                 ({} vars; release CI runs it)",
+                rs.vars_before
+            );
+        } else {
+            let monolithic = extract_ilp(
+                &eg,
+                root,
+                &model,
+                &IlpConfig {
+                    reduce: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("monolithic ILP failed on {name}: {e}"));
+            let ms = monolithic.ilp.as_ref().unwrap();
+            assert_eq!(ms.status, Status::Optimal, "{name}: oracle not optimal");
+            assert!(
+                (reduced.dag_cost - monolithic.dag_cost).abs() < 1e-9,
+                "{name}: reduced optimum {} != monolithic optimum {}",
+                reduced.dag_cost,
+                monolithic.dag_cost
+            );
+            assert_eq!(
+                rs.vars_before, ms.num_vars,
+                "{name}: vars_before must equal the monolithic encoding size"
+            );
+            assert_eq!(
+                rs.constraints_before, ms.num_constraints,
+                "{name}: constraints_before must equal the monolithic encoding size"
+            );
+            assert!(rs.num_vars <= ms.num_vars, "{name}: reduction grew vars");
+            assert!(
+                rs.num_constraints <= ms.num_constraints,
+                "{name}: reduction grew constraints"
+            );
+        }
+        assert!(
+            elapsed <= PER_MODEL_BUDGET,
+            "{name}: reduced ILP extraction took {elapsed:?}, budget {PER_MODEL_BUDGET:?}"
+        );
+        eprintln!(
+            "[ilp-reduction] {name}: {:?} (vars {}/{}, constraints {}/{}, components {}, \
+             dag {:.3})",
+            elapsed,
+            rs.num_vars,
+            rs.vars_before,
+            rs.num_constraints,
+            rs.constraints_before,
+            rs.components,
+            reduced.dag_cost
+        );
+    }
+}

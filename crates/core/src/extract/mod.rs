@@ -24,8 +24,11 @@
 //! `dag_cost`/`tree_cost` fields report plain latency for paper-style
 //! comparisons.
 
+mod reduce;
+
 use crate::cycles::BitSet;
 use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 use tensat_egraph::{
     CostFunction, DagCostFunction, DagExtractor, Extractor, Id, Language, RecExpr,
@@ -76,17 +79,43 @@ impl ExtractionOutcome {
 }
 
 /// Statistics of an ILP extraction.
+///
+/// The `*_before` fields report the size of the paper's monolithic §5.1
+/// encoding for the same e-graph; the plain `num_vars`/`num_constraints`
+/// report what was actually handed to the solver after the reduction
+/// pipeline (equal to the `*_before` fields when reduction is off).
 #[derive(Debug, Clone)]
 pub struct IlpStats {
-    /// Number of ILP variables.
+    /// ILP variables handed to the solver (summed over components).
     pub num_vars: usize,
-    /// Number of ILP constraints.
+    /// ILP constraints handed to the solver (summed over components).
     pub num_constraints: usize,
-    /// Solver status.
+    /// Variables the monolithic encoding would create for this e-graph.
+    pub vars_before: usize,
+    /// Constraints the monolithic encoding would create.
+    pub constraints_before: usize,
+    /// Variables fixed by the solver's presolve propagation at the root
+    /// (summed over components).
+    pub presolve_fixed: usize,
+    /// Candidates removed by dominated-candidate pruning (0 when reduction
+    /// is off).
+    pub dominated_pruned: usize,
+    /// Candidates removed by incumbent cost-bound pruning: their forced-
+    /// closure lower bound exceeds the greedy warm-start value, so they
+    /// appear in no optimum (0 when reduction or the warm start is off).
+    pub bound_pruned: usize,
+    /// Classes fixed outside the ILP by single-candidate forcing (0 when
+    /// reduction is off).
+    pub forced_classes: usize,
+    /// Independent subproblems solved after decomposition (1 when
+    /// reduction is off).
+    pub components: usize,
+    /// Solver status — `Optimal` only if every component solved to
+    /// optimality.
     pub status: Status,
-    /// Branch-and-bound nodes explored.
+    /// Branch-and-bound nodes explored (summed over components).
     pub nodes_explored: usize,
-    /// Solver wall-clock time.
+    /// Solver wall-clock time (summed over components).
     pub solve_time: Duration,
 }
 
@@ -275,6 +304,15 @@ pub struct IlpConfig {
     /// Seed the solver with the greedy-DAG solution as a warm start (and
     /// keep it as the incumbent if the solver's budget runs out first).
     pub warm_start_with_greedy: bool,
+    /// Run the problem-reduction pipeline (see the `reduce` module) before
+    /// encoding: restrict to the root-reachable subgraph, prune dominated
+    /// candidates, fix single-candidate classes transitively, and decompose
+    /// the residue into independent components solved separately. `false`
+    /// encodes the paper's monolithic program directly — the oracle the
+    /// differential tests compare the reduced optimum against. Ignored
+    /// (treated as `false`) when `cycle_constraints` is on: the dominance
+    /// argument reasons about the acyclic selection semantics.
+    pub reduce: bool,
 }
 
 impl Default for IlpConfig {
@@ -284,6 +322,7 @@ impl Default for IlpConfig {
             integer_topo_vars: false,
             time_limit: Duration::from_secs(60),
             warm_start_with_greedy: true,
+            reduce: true,
         }
     }
 }
@@ -291,7 +330,26 @@ impl Default for IlpConfig {
 /// ILP extraction (paper §5.1): encode node selection as a 0/1 program and
 /// solve it with the `tensat-ilp` branch-and-bound solver. Solver
 /// statistics are reported in the outcome's [`ExtractionOutcome::ilp`].
+///
+/// By default the abstract selection problem is *reduced* before encoding
+/// (see [`IlpConfig::reduce`]); the monolithic encoding below remains both
+/// the `reduce: false` path and the oracle for the differential tests.
 pub fn extract_ilp(
+    egraph: &TensorEGraph,
+    root: Id,
+    model: &CostModel,
+    config: &IlpConfig,
+) -> Result<ExtractionOutcome, ExtractError> {
+    if config.reduce && !config.cycle_constraints {
+        extract_ilp_reduced(egraph, root, model, config)
+    } else {
+        extract_ilp_monolithic(egraph, root, model, config)
+    }
+}
+
+/// The monolithic §5.1 encoding: one binary per viable e-node, one
+/// implication row per (node, child-class) edge, solved as a single ILP.
+fn extract_ilp_monolithic(
     egraph: &TensorEGraph,
     root: Id,
     model: &CostModel,
@@ -456,6 +514,13 @@ pub fn extract_ilp(
     let stats = IlpStats {
         num_vars: problem.num_vars(),
         num_constraints: problem.num_constraints(),
+        vars_before: problem.num_vars(),
+        constraints_before: problem.num_constraints(),
+        presolve_fixed: solution.presolve_fixed,
+        dominated_pruned: 0,
+        bound_pruned: 0,
+        forced_classes: 0,
+        components: 1,
         status: solution.status,
         nodes_explored: solution.nodes_explored,
         solve_time: solution.solve_time,
@@ -478,6 +543,208 @@ pub fn extract_ilp(
     // re-discovering the greedy incumbent (e.g. the warm start could not be
     // translated into a feasible assignment), keep whichever graph is
     // cheaper so ILP extraction never regresses below greedy.
+    if let Some(greedy) = greedy {
+        if greedy.cost.total_order(&outcome.cost) == Ordering::Less {
+            outcome.expr = greedy.expr;
+            outcome.cost = greedy.cost;
+            outcome.dag_cost = greedy.dag_cost;
+            outcome.tree_cost = greedy.tree_cost;
+        }
+    }
+    outcome.ilp = Some(stats);
+    Ok(outcome)
+}
+
+/// The reduced path: build the abstract selection problem, run the
+/// reduction pipeline (trim → dominance/forced-closure fixpoint → forcing →
+/// decomposition), encode and solve each residual component independently,
+/// and stitch the fixed selections with the per-component optima.
+///
+/// Soundness of the stitch: the fixed classes select their single surviving
+/// candidate in *some* optimal solution of the monolithic program (the
+/// dominance swap argument shows an optimum avoiding pruned candidates
+/// exists; forcing is then literal constraint propagation on it), and the
+/// residual constraint matrix is block-diagonal across components with an
+/// additive objective — so `optimum = Σ fixed costs + Σ component optima`,
+/// which the differential tests check against the monolithic oracle.
+fn extract_ilp_reduced(
+    egraph: &TensorEGraph,
+    root: Id,
+    model: &CostModel,
+    config: &IlpConfig,
+) -> Result<ExtractionOutcome, ExtractError> {
+    let start = Instant::now();
+    let root = egraph.find(root);
+
+    // The greedy-DAG solution serves double duty: its value is the
+    // incumbent upper bound the reduction's cost-bound pruning compares
+    // forced-closure lower bounds against, and its selection warm-starts
+    // every component's solver.
+    let greedy = if config.warm_start_with_greedy {
+        extract_greedy_dag(egraph, root, model).ok()
+    } else {
+        None
+    };
+
+    let mut rp = reduce::ExtractionProblem::from_egraph(egraph, root, model)?;
+    rp.reduce(greedy.as_ref().map(|g| g.dag_cost))?;
+    let n = rp.candidates.len();
+
+    // Map the greedy expression back to one candidate per class (the same
+    // canonical-node lookup as the monolithic path); when the greedy pick
+    // was dominance-pruned, chase `rep` to the sibling that dominated it —
+    // the dominator's needs are a subset of the pruned pick's, which the
+    // greedy solution satisfies, so the repaired hint stays closed.
+    let mut hint_choice: Vec<Option<usize>> = vec![None; n];
+    if let Some(greedy) = &greedy {
+        let mut selected: HashSet<(Id, TensorLang)> = Default::default();
+        let mut expr_to_class: Vec<Id> = Vec::with_capacity(greedy.expr.len());
+        for (_, node) in greedy.expr.iter() {
+            let mapped = node.map_children(|c| expr_to_class[usize::from(c)]);
+            match egraph.lookup(&mapped) {
+                Some(class) => {
+                    let class = egraph.find(class);
+                    selected.insert((class, egraph.canonicalize(&mapped)));
+                    expr_to_class.push(class);
+                }
+                None => expr_to_class.push(root),
+            }
+        }
+        for (i, hint) in hint_choice.iter_mut().enumerate() {
+            if !rp.reachable[i] {
+                continue;
+            }
+            for j in 0..rp.candidates[i].len() {
+                let node = &rp.candidates[i][j].node;
+                if selected.contains(&(rp.class_ids[i], egraph.canonicalize(node))) {
+                    let r = rp.resolve_rep(i, j);
+                    if rp.alive[i][r] {
+                        *hint = Some(r);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    // Encode and solve each component independently, splitting the wall
+    // clock budget first-come (components are tiny after reduction).
+    let comps = rp.components();
+    let mut choice: Vec<Option<usize>> = rp.fixed.clone();
+    let mut stats = IlpStats {
+        num_vars: 0,
+        num_constraints: 0,
+        vars_before: rp.stats.vars_before,
+        constraints_before: rp.stats.constraints_before,
+        presolve_fixed: 0,
+        dominated_pruned: rp.stats.dominated_pruned,
+        bound_pruned: rp.stats.bound_pruned,
+        forced_classes: rp.stats.forced_classes,
+        components: comps.len(),
+        status: Status::Optimal,
+        nodes_explored: 0,
+        solve_time: Duration::ZERO,
+    };
+    for comp in &comps {
+        let mut problem = Problem::new();
+        let mut comp_vars: HashMap<usize, Vec<(usize, VarId)>> = HashMap::new();
+        for &i in comp {
+            let mut vars = vec![];
+            for (j, cand) in rp.candidates[i].iter().enumerate() {
+                if !rp.alive[i][j] {
+                    continue;
+                }
+                let var = problem.add_binary(cand.cost);
+                problem.set_name(
+                    var,
+                    format!("x_{}_{}", rp.class_ids[i], cand.node.display_op()),
+                );
+                vars.push((j, var));
+            }
+            comp_vars.insert(i, vars);
+        }
+        for &i in comp {
+            let vars = &comp_vars[&i];
+            if i == 0 {
+                // Constraint (2): exactly one node picked in the root class.
+                problem.add_constraint(vars.iter().map(|&(_, v)| (v, 1.0)).collect(), Cmp::Eq, 1.0);
+            } else if rp.required[i] {
+                // Implied by a fixed parent's constraint (3); stating it
+                // lets the solver's cover-group bound see the class.
+                problem.add_constraint(vars.iter().map(|&(_, v)| (v, 1.0)).collect(), Cmp::Ge, 1.0);
+            }
+            // Constraint (3): a picked node needs one picked node in each
+            // non-fixed child class (fixed children are always selected).
+            for &(j, var) in vars {
+                for &c in &rp.candidates[i][j].children {
+                    if rp.fixed[c].is_some() {
+                        continue;
+                    }
+                    let mut terms = vec![(var, 1.0)];
+                    terms.extend(comp_vars[&c].iter().map(|&(_, v)| (v, -1.0)));
+                    problem.add_constraint(terms, Cmp::Le, 0.0);
+                }
+            }
+        }
+        let hint = greedy.as_ref().map(|_| {
+            let mut values = vec![0.0; problem.num_vars()];
+            for &i in comp {
+                if let Some(h) = hint_choice[i] {
+                    if let Some(&(_, v)) = comp_vars[&i].iter().find(|&&(j, _)| j == h) {
+                        values[v.0] = 1.0;
+                    }
+                }
+            }
+            values
+        });
+        let solver = Solver::with_time_limit(config.time_limit.saturating_sub(start.elapsed()));
+        let solution = match &hint {
+            Some(h) => solver.solve_with_hint(&problem, h),
+            None => solver.solve(&problem),
+        };
+        stats.num_vars += problem.num_vars();
+        stats.num_constraints += problem.num_constraints();
+        stats.presolve_fixed += solution.presolve_fixed;
+        stats.nodes_explored += solution.nodes_explored;
+        stats.solve_time += solution.solve_time;
+        if !solution.has_solution() {
+            // Out of budget with no incumbent for this component: fall back
+            // to the greedy graph (the monolithic path's any-time contract)
+            // if there is one.
+            stats.status = solution.status;
+            let Some(greedy) = greedy else {
+                return Err(ExtractError::Infeasible);
+            };
+            let mut outcome = ExtractionOutcome::measure(greedy.expr, model, start.elapsed());
+            outcome.ilp = Some(stats);
+            return Ok(outcome);
+        }
+        if solution.status != Status::Optimal {
+            stats.status = solution.status;
+        }
+        for &i in comp {
+            for &(j, var) in &comp_vars[&i] {
+                if solution.value(var) > 0.5 {
+                    choice[i] = Some(j);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Stitch: fixed selections plus the per-component optima, mapped into
+    // the slot space `build_selection` walks.
+    let mut slot_choice: Vec<Option<TensorLang>> = vec![None; egraph.num_slots()];
+    for (i, &ch) in choice.iter().enumerate() {
+        if let Some(j) = ch {
+            let s = egraph
+                .slot_index(rp.class_ids[i])
+                .expect("reachable class is live");
+            slot_choice[s] = Some(rp.candidates[i][j].node.clone());
+        }
+    }
+    let expr = build_selection(egraph, root, &slot_choice)?;
+    let mut outcome = ExtractionOutcome::measure(expr, model, start.elapsed());
     if let Some(greedy) = greedy {
         if greedy.cost.total_order(&outcome.cost) == Ordering::Less {
             outcome.expr = greedy.expr;
@@ -705,7 +972,13 @@ mod tests {
         let greedy = extract_greedy(&eg, root, &model).unwrap();
         let ilp = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
         let stats = ilp.ilp.as_ref().expect("ILP outcome carries solver stats");
-        assert!(stats.num_vars > 0);
+        assert!(stats.vars_before > 0);
+        assert!(
+            stats.num_vars <= stats.vars_before,
+            "reduction must never grow the problem ({} vs {})",
+            stats.num_vars,
+            stats.vars_before
+        );
         assert!(
             ilp.dag_cost < greedy.dag_cost,
             "ILP ({}) should beat greedy ({}) by picking the merged matmul",
@@ -717,6 +990,38 @@ mod tests {
         assert!(ilp.expr.to_string().contains("split"));
         let data = tensat_ir::infer_recexpr(&ilp.expr);
         assert!(data.iter().all(|d| d.is_valid()));
+    }
+
+    #[test]
+    fn reduced_ilp_matches_monolithic_optimum() {
+        let (eg, root, _) = explored_two_matmuls();
+        let model = CostModel::default();
+        let reduced = extract_ilp(&eg, root, &model, &IlpConfig::default()).unwrap();
+        let monolithic = extract_ilp(
+            &eg,
+            root,
+            &model,
+            &IlpConfig {
+                reduce: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (reduced.dag_cost - monolithic.dag_cost).abs() < 1e-9,
+            "reduced optimum ({}) must equal the monolithic oracle ({})",
+            reduced.dag_cost,
+            monolithic.dag_cost
+        );
+        let rs = reduced.ilp.unwrap();
+        let ms = monolithic.ilp.unwrap();
+        assert_eq!(rs.status, Status::Optimal);
+        assert_eq!(ms.status, Status::Optimal);
+        // The "before" stats are exactly the monolithic encoding's size.
+        assert_eq!(rs.vars_before, ms.num_vars);
+        assert_eq!(rs.constraints_before, ms.num_constraints);
+        assert!(rs.num_vars <= ms.num_vars);
+        assert!(rs.num_constraints <= ms.num_constraints);
     }
 
     #[test]

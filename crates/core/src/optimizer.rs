@@ -352,7 +352,7 @@ impl Optimizer {
                     cycle_constraints: self.config.ilp_cycle_constraints,
                     integer_topo_vars: self.config.ilp_integer_topo_vars,
                     time_limit: self.config.ilp_time_limit,
-                    warm_start_with_greedy: true,
+                    ..Default::default()
                 },
             }),
         };

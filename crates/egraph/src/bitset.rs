@@ -48,6 +48,27 @@ impl BitSet {
         changed
     }
 
+    /// Intersects `other` into `self`; returns true if anything changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & *b;
+            if new != *a {
+                *a = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// True if every bit set in `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
     /// Number of set bits.
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -88,6 +109,24 @@ mod tests {
         assert!(s.contains(129));
         assert!(!s.contains(1));
         assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn intersect_and_subset() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [1, 64, 129] {
+            a.insert(i);
+        }
+        for i in [1, 64] {
+            b.insert(i);
+        }
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.intersect_with(&b));
+        assert!(!a.intersect_with(&b));
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 64]);
+        assert!(a.is_subset(&b) && b.is_subset(&a));
     }
 
     #[test]

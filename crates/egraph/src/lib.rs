@@ -77,9 +77,11 @@ pub use extract::{AstDepth, AstSize, CostFunction, DagCostFunction, DagExtractor
 pub use language::{Id, Language, Symbol};
 pub use machine::{
     Guard, GuardFn, GuardedProgram, Instruction, Program, Reg, SearchQuery, TagMask,
+    PARALLEL_SEARCH_SPAWN_THRESHOLD,
 };
 pub use pattern::{
-    search_all_guarded_parallel, search_all_guarded_since_parallel, search_all_parallel,
+    search_all_guarded_parallel, search_all_guarded_since_parallel,
+    search_all_guarded_since_parallel_with_threshold, search_all_parallel,
     search_all_since_parallel, ENodeOrVar, Pattern, SearchMatches, Subst, Var,
 };
 pub use recexpr::RecExpr;

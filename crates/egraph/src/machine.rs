@@ -740,6 +740,15 @@ impl<L: Language + std::fmt::Debug, D> std::fmt::Debug for GuardedProgram<L, D> 
 /// operator nodes); contiguous chunks keep the merge deterministic.
 const CHUNKS_PER_THREAD: usize = 8;
 
+/// Candidate-count threshold below which the parallel search driver runs
+/// the sequential path even when asked for several threads. Spawning scoped
+/// workers, sharding the queue, and merging slots costs a few hundred
+/// microseconds; batches this small finish sequentially in less (the
+/// benchmark models' full rule batches span 50–1100 candidate classes and
+/// search in 7–220 µs), so the threads would only add overhead. Batches at
+/// or above the threshold keep the bit-identical chunk-ordered merge path.
+pub const PARALLEL_SEARCH_SPAWN_THRESHOLD: usize = 2048;
+
 /// Searches several compiled programs — each paired with its guard table
 /// (empty for unguarded programs) — over one e-graph, sharding all their
 /// candidate classes across `n_threads` scoped threads.
@@ -753,13 +762,39 @@ const CHUNKS_PER_THREAD: usize = 8;
 /// per-item slots and merged in item order, which reproduces the sequential
 /// per-program match lists bit for bit.
 ///
-/// `n_threads <= 1` (or an empty candidate set) runs the sequential driver
-/// directly — identical behavior, no thread overhead.
+/// `n_threads <= 1`, an empty candidate set, or a batch below
+/// `spawn_threshold` candidates (see [`PARALLEL_SEARCH_SPAWN_THRESHOLD`])
+/// runs the sequential driver directly — identical behavior, no thread
+/// overhead.
 pub(crate) fn search_programs_since_parallel<L, N>(
     queries: &[SearchQuery<'_, L, N::Data>],
     egraph: &EGraph<L, N>,
     watermark: u64,
     n_threads: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    search_programs_since_parallel_with_threshold(
+        queries,
+        egraph,
+        watermark,
+        n_threads,
+        PARALLEL_SEARCH_SPAWN_THRESHOLD,
+    )
+}
+
+/// [`search_programs_since_parallel`] with an explicit spawn threshold —
+/// `0` forces the parallel driver for any nonempty batch, `usize::MAX`
+/// forces the sequential driver; both produce bit-identical results.
+pub(crate) fn search_programs_since_parallel_with_threshold<L, N>(
+    queries: &[SearchQuery<'_, L, N::Data>],
+    egraph: &EGraph<L, N>,
+    watermark: u64,
+    n_threads: usize,
+    spawn_threshold: usize,
 ) -> Vec<Vec<SearchMatches>>
 where
     L: Language + Sync,
@@ -786,6 +821,16 @@ where
         .map(|(p, _)| p.candidate_classes(egraph, watermark))
         .collect();
     let total: usize = candidates.iter().map(Vec::len).sum();
+
+    // Tiny batches lose more to thread spawn + merge than the threads can
+    // win back — run them on the sequential driver (which is the
+    // correctness reference, so results are identical by construction).
+    if total < spawn_threshold {
+        return queries
+            .iter()
+            .map(|(p, g)| p.search_since_guarded(egraph, watermark, g))
+            .collect();
+    }
 
     // Clamp the worker count: more workers than candidate classes would
     // spawn threads with nothing to do, and more than a few per core is

@@ -552,6 +552,35 @@ where
     crate::machine::search_programs_since_parallel(queries, egraph, watermark, n_threads)
 }
 
+/// [`search_all_guarded_since_parallel`] with an explicit spawn threshold
+/// instead of the default
+/// [`PARALLEL_SEARCH_SPAWN_THRESHOLD`](crate::PARALLEL_SEARCH_SPAWN_THRESHOLD):
+/// batches with fewer candidate classes run on the sequential driver even
+/// when `n_threads > 1`, because thread spawn + merge overhead exceeds the
+/// work. `0` forces the parallel driver for any nonempty batch and
+/// `usize::MAX` forces the sequential driver; every dispatch produces
+/// bit-identical match lists, which the regression tests pin.
+pub fn search_all_guarded_since_parallel_with_threshold<L, N>(
+    queries: &[SearchQuery<'_, L, N::Data>],
+    egraph: &EGraph<L, N>,
+    watermark: u64,
+    n_threads: usize,
+    spawn_threshold: usize,
+) -> Vec<Vec<SearchMatches>>
+where
+    L: Language + Sync,
+    N: Analysis<L> + Sync,
+    N::Data: Sync,
+{
+    crate::machine::search_programs_since_parallel_with_threshold(
+        queries,
+        egraph,
+        watermark,
+        n_threads,
+        spawn_threshold,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

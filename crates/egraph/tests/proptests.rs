@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use tensat_egraph::doctest_lang::SimpleMath as Math;
 use tensat_egraph::{
+    search_all_guarded_since_parallel, search_all_guarded_since_parallel_with_threshold,
     search_all_parallel, stage_matches_parallel, Analysis, AstSize, DidMerge, EGraph, ENodeOrVar,
     Extractor, Guard, GuardedProgram, Id, Language, Pattern, RecExpr, Rewrite, SearchMatches,
     Subst, Symbol, Var,
@@ -230,6 +231,47 @@ proptest! {
         let batch = search_all_parallel(&refs, &eg, n_threads);
         prop_assert_eq!(batch.len(), patterns.len());
         for (pattern, got) in patterns.iter().zip(&batch) {
+            prop_assert_eq!(&pattern.search(&eg), got);
+        }
+    }
+
+    /// The spawn-threshold dispatch in the batch driver must be invisible:
+    /// whatever path the candidate count selects, the result must be
+    /// bit-identical to both the forced-parallel driver (threshold 0) and
+    /// the forced-sequential fallback (threshold `usize::MAX`). The small
+    /// random e-graphs here always fall below
+    /// `PARALLEL_SEARCH_SPAWN_THRESHOLD`, so the default dispatch takes the
+    /// sequential fallback while the threshold-0 run still exercises the
+    /// real worker spawn/merge machinery — making this the differential
+    /// test between the two.
+    #[test]
+    fn spawn_threshold_dispatch_is_bit_identical(
+        steps in steps_strategy(40),
+        pats in prop::collection::vec(pattern_strategy(10), 1..4),
+        n_threads in 2usize..=8
+    ) {
+        let expr = build_expr(&steps);
+        let mut eg: EGraph<Math, ()> = EGraph::new(());
+        eg.add_expr(&expr);
+        eg.rebuild();
+        let patterns: Vec<Pattern<Math>> = pats.iter().map(|p| build_pattern(p)).collect();
+        let queries: Vec<_> = patterns
+            .iter()
+            .map(|p| (p.program(), &[] as &[Guard<()>]))
+            .collect();
+        let dispatched = search_all_guarded_since_parallel(&queries, &eg, 0, n_threads);
+        let forced_parallel =
+            search_all_guarded_since_parallel_with_threshold(&queries, &eg, 0, n_threads, 0);
+        let forced_sequential = search_all_guarded_since_parallel_with_threshold(
+            &queries,
+            &eg,
+            0,
+            n_threads,
+            usize::MAX,
+        );
+        prop_assert_eq!(&dispatched, &forced_parallel);
+        prop_assert_eq!(&dispatched, &forced_sequential);
+        for (pattern, got) in patterns.iter().zip(&dispatched) {
             prop_assert_eq!(&pattern.search(&eg), got);
         }
     }
